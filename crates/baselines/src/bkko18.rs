@@ -1,0 +1,287 @@
+//! BKKO18-style baseline: *"Simple and efficient leader election"*
+//! (Berenbrink, Kaaser, Kling, Otterbach; SOSA 2018). `O(log n)` states,
+//! `O(log² n)` time whp.
+//!
+//! The interesting contrast with GS18/GSU19 is the clock: instead of a
+//! junta-driven phase clock (which needs the level race but only
+//! `O(log log n)` states), every agent runs a private **interaction
+//! counter** modulo `m = Θ(log n)` — simpler, but the state count is
+//! Θ(log n) and rounds are only loosely synchronised (per-agent counters
+//! drift like √t). Elimination is the usual coin-round loop: candidates
+//! flip the AAE+17 parity coin (p ≈ ½) once per round, heads survive and
+//! broadcast in the late half-round, informed tails-drawers drop out; a
+//! seniority duel between candidates backs the whole thing up.
+//!
+//! Simplifications relative to SOSA'18: the original opens with a
+//! geometric-level tournament and interleaves its phases differently; we
+//! keep the round loop only, which preserves the state/time shape that
+//! Table 1 compares (`Θ(log n)` rounds of `Θ(log n)` parallel time).
+
+use ppsim::{EnumerableProtocol, Output, Protocol};
+
+/// Per-round flip record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BkkoFlip {
+    None,
+    Heads,
+    Tails,
+}
+
+/// Agent state of the BKKO18-style protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BkkoState {
+    /// Own-interaction counter modulo `m` — the private clock.
+    pub counter: u16,
+    /// AAE+17 parity bit, toggled on every interaction the agent responds
+    /// in; the partner's bit is read as a fair coin.
+    pub parity: bool,
+    /// Still a candidate?
+    pub candidate: bool,
+    /// This round's flip.
+    pub flip: BkkoFlip,
+    /// "No heads heard this round."
+    pub void: bool,
+    /// Parity of the round number: stamps `void` information so that
+    /// heads broadcasts from a drifted neighbour's *previous* round are
+    /// ignored (private counters drift like √t, so unstamped information
+    /// routinely crosses round boundaries and can cull the last
+    /// candidate).
+    pub round_parity: bool,
+}
+
+/// The BKKO18-style protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct Bkko18 {
+    /// Clock modulus `m` (even).
+    m: u16,
+}
+
+impl Bkko18 {
+    /// Instance tuned for a population of size `n`: `m = 6·⌈log₂ n⌉`,
+    /// giving late half-rounds of ≈ 3·log₂ n parallel time — enough for
+    /// the heads broadcast to complete whp.
+    pub fn for_population(n: u64) -> Self {
+        let l = (n as f64).log2().ceil() as u16;
+        let mut m = 6 * l.max(4);
+        if m % 2 == 1 {
+            m += 1;
+        }
+        Self { m }
+    }
+
+    /// Explicit clock modulus (testing, ablations).
+    pub fn with_modulus(m: u16) -> Self {
+        assert!(m >= 4 && m % 2 == 0, "modulus must be even and >= 4");
+        Self { m }
+    }
+
+    /// The clock modulus.
+    pub fn modulus(&self) -> u16 {
+        self.m
+    }
+}
+
+impl Protocol for Bkko18 {
+    type State = BkkoState;
+
+    fn initial_state(&self) -> BkkoState {
+        BkkoState {
+            counter: 0,
+            parity: false,
+            candidate: true,
+            flip: BkkoFlip::None,
+            void: true,
+            round_parity: false,
+        }
+    }
+
+    fn transition(&self, r: BkkoState, i: BkkoState) -> (BkkoState, BkkoState) {
+        let mut r_new = r;
+
+        // Private clock tick; wrap = round boundary.
+        r_new.counter = (r.counter + 1) % self.m;
+        let wrapped = r_new.counter == 0;
+        if wrapped {
+            r_new.flip = BkkoFlip::None;
+            r_new.void = true;
+            r_new.round_parity = !r.round_parity;
+        }
+        let early = !wrapped && r_new.counter < self.m / 2;
+        let late = !wrapped && r_new.counter >= self.m / 2;
+
+        // Parity coin: the responder toggles its bit each interaction and
+        // reads the partner's (pre-interaction) bit when flipping.
+        r_new.parity = !r.parity;
+
+        if early && r_new.candidate && r_new.flip == BkkoFlip::None {
+            if i.parity {
+                r_new.flip = BkkoFlip::Heads;
+                r_new.void = false;
+            } else {
+                r_new.flip = BkkoFlip::Tails;
+            }
+        }
+
+        if late && r_new.void && !i.void && i.round_parity == r_new.round_parity {
+            r_new.void = false;
+            if r_new.candidate && r_new.flip == BkkoFlip::Tails {
+                r_new.candidate = false;
+            }
+        }
+
+        // Backup duel: two candidates meet, the junior (by flip rank, ties
+        // to the responder) yields.
+        let mut i_new = i;
+        if r_new.candidate && i_new.candidate {
+            let rank = |f: BkkoFlip| match f {
+                BkkoFlip::Heads => 2u8,
+                BkkoFlip::None => 1,
+                BkkoFlip::Tails => 0,
+            };
+            if rank(r_new.flip) >= rank(i_new.flip) {
+                i_new.candidate = false;
+            } else {
+                r_new.candidate = false;
+            }
+        }
+
+        (r_new, i_new)
+    }
+
+    fn output(&self, s: BkkoState) -> Output {
+        if s.candidate {
+            Output::Leader
+        } else {
+            Output::Follower
+        }
+    }
+}
+
+impl EnumerableProtocol for Bkko18 {
+    fn num_states(&self) -> usize {
+        self.m as usize * 2 * 2 * 3 * 2 * 2
+    }
+
+    fn state_id(&self, s: BkkoState) -> usize {
+        let flip = match s.flip {
+            BkkoFlip::None => 0,
+            BkkoFlip::Heads => 1,
+            BkkoFlip::Tails => 2,
+        };
+        (((((s.counter as usize) * 2 + s.parity as usize) * 2 + s.candidate as usize) * 3
+            + flip)
+            * 2
+            + s.void as usize)
+            * 2
+            + s.round_parity as usize
+    }
+
+    fn state_from_id(&self, id: usize) -> BkkoState {
+        let round_parity = id % 2 == 1;
+        let id = id / 2;
+        let void = id % 2 == 1;
+        let id = id / 2;
+        let flip = match id % 3 {
+            0 => BkkoFlip::None,
+            1 => BkkoFlip::Heads,
+            _ => BkkoFlip::Tails,
+        };
+        let id = id / 3;
+        let candidate = id % 2 == 1;
+        let id = id / 2;
+        let parity = id % 2 == 1;
+        let counter = (id / 2) as u16;
+        BkkoState {
+            counter,
+            parity,
+            candidate,
+            flip,
+            void,
+            round_parity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{run_until_stable, AgentSim, Simulator};
+
+    #[test]
+    fn enumeration_roundtrips() {
+        let p = Bkko18::for_population(1 << 10);
+        for id in 0..p.num_states() {
+            let s = p.state_from_id(id);
+            assert_eq!(p.state_id(s), id);
+        }
+    }
+
+    #[test]
+    fn state_count_is_logarithmic() {
+        let small = Bkko18::for_population(1 << 10).num_states();
+        let large = Bkko18::for_population(1 << 20).num_states();
+        // m doubles when log n doubles.
+        assert_eq!(large, 2 * small);
+    }
+
+    #[test]
+    fn elects_unique_leader() {
+        let n = 1u64 << 10;
+        let proto = Bkko18::for_population(n);
+        let mut sim = AgentSim::new(proto, n as usize, 3);
+        let res = run_until_stable(&mut sim, 60_000 * n);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+    }
+
+    #[test]
+    fn multiple_seeds_converge() {
+        let n = 1u64 << 9;
+        for seed in 0..6u64 {
+            let proto = Bkko18::for_population(n);
+            let mut sim = AgentSim::new(proto, n as usize, 400 + seed);
+            let res = run_until_stable(&mut sim, 100_000 * n);
+            assert!(res.converged, "seed {seed}");
+            assert_eq!(sim.leaders(), 1);
+        }
+    }
+
+    #[test]
+    fn candidate_count_is_monotone() {
+        let n = 1u64 << 10;
+        let proto = Bkko18::for_population(n);
+        let mut sim = AgentSim::new(proto, n as usize, 9);
+        let mut prev = sim.leaders();
+        for _ in 0..200 {
+            sim.steps(n / 2);
+            let cur = sim.leaders();
+            assert!(cur <= prev, "candidates increased");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn stable_after_convergence() {
+        let n = 1u64 << 9;
+        let proto = Bkko18::for_population(n);
+        let mut sim = AgentSim::new(proto, n as usize, 11);
+        let res = run_until_stable(&mut sim, 100_000 * n);
+        assert!(res.converged);
+        for _ in 0..50 {
+            sim.steps(n);
+            assert_eq!(sim.leaders(), 1);
+        }
+    }
+
+    #[test]
+    fn modulus_validation() {
+        let p = Bkko18::with_modulus(12);
+        assert_eq!(p.modulus(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_modulus_rejected() {
+        let _ = Bkko18::with_modulus(13);
+    }
+}

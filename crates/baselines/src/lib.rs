@@ -1,0 +1,28 @@
+//! # baselines — the competing protocols of Table 1
+//!
+//! Empirical counterparts for the rows of the paper's Table 1, plus
+//! ablations of the paper's own design:
+//!
+//! | Module | Protocol | States | Time |
+//! |--------|----------|--------|------|
+//! | [`slow`] | AAD+04 constant-state protocol | 2 | Θ(n) expected |
+//! | [`gs18`] | GS18-style: junta clock + fair-ish coin rounds, no biased cascade, no drag | O(log log n) | O(log² n) whp |
+//! | [`bkko18`] | BKKO18-style: interaction-counter clock + parity-coin rounds | O(log n) | O(log² n) whp |
+//! | [`ablations`] | GSU19 variants with pieces removed | — | — |
+//!
+//! `gs18` and the ablations reuse the verified GSU19 substrate
+//! (`core-protocol`) with feature flags, so differences in measured times
+//! are attributable to the elimination mechanism rather than incidental
+//! implementation choices. `bkko18` is an independent implementation with
+//! its own O(log n)-state clock. Simplifications relative to the original
+//! papers are documented in the module docs.
+
+pub mod ablations;
+pub mod bkko18;
+pub mod gs18;
+pub mod slow;
+
+pub use ablations::{gsu_direct_withdrawal, gsu_no_backup, gsu_no_drag};
+pub use bkko18::{Bkko18, BkkoState};
+pub use gs18::Gs18;
+pub use slow::SlowLe;

@@ -1,0 +1,107 @@
+//! The constant-state slow leader-election protocol of [AAD+04]: every
+//! agent starts as a candidate; when two candidates meet, the initiator
+//! yields. Always correct; Θ(n) expected parallel time (the last two
+//! candidates need Θ(n²) interactions to meet), which is optimal for
+//! constant-state protocols by Doty–Soloveichik \[DS15\].
+//!
+//! This is both the `Table 1` bottom row and the conceptual backup that
+//! GSU19 runs embedded as rule (11).
+
+use ppsim::{EnumerableProtocol, Output, Protocol};
+
+/// The 2-state protocol: `true` = leader candidate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlowLe;
+
+impl Protocol for SlowLe {
+    type State = bool;
+
+    fn initial_state(&self) -> bool {
+        true
+    }
+
+    fn transition(&self, r: bool, i: bool) -> (bool, bool) {
+        if r && i {
+            (true, false)
+        } else {
+            (r, i)
+        }
+    }
+
+    fn output(&self, s: bool) -> Output {
+        if s {
+            Output::Leader
+        } else {
+            Output::Follower
+        }
+    }
+}
+
+impl EnumerableProtocol for SlowLe {
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn state_id(&self, s: bool) -> usize {
+        s as usize
+    }
+    fn state_from_id(&self, id: usize) -> bool {
+        id == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{run_until_stable, AgentSim, Simulator, UrnSim};
+
+    #[test]
+    fn elects_unique_leader() {
+        let mut sim = AgentSim::new(SlowLe, 128, 7);
+        let res = run_until_stable(&mut sim, 10_000_000);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+    }
+
+    #[test]
+    fn leader_count_never_increases() {
+        let mut sim = AgentSim::new(SlowLe, 64, 3);
+        let mut prev = sim.leaders();
+        for _ in 0..20_000 {
+            sim.step();
+            assert!(sim.leaders() <= prev);
+            prev = sim.leaders();
+        }
+    }
+
+    #[test]
+    fn expected_time_is_linear() {
+        // Mean convergence time should grow roughly linearly in n: the
+        // ratio t/n is approximately constant (Θ(n) expected time).
+        let mut ratios = Vec::new();
+        for &n in &[64u64, 256] {
+            let mut total = 0.0;
+            let trials = 20;
+            for t in 0..trials {
+                let mut sim = AgentSim::new(SlowLe, n as usize, 50 + t);
+                let res = run_until_stable(&mut sim, 1_000 * n * n);
+                assert!(res.converged);
+                total += res.parallel_time;
+            }
+            ratios.push(total / trials as f64 / n as f64);
+        }
+        let rel = (ratios[0] - ratios[1]).abs() / ratios[1];
+        assert!(
+            rel < 0.5,
+            "t/n not stable across n: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn urn_equivalent_on_large_population() {
+        let mut sim = UrnSim::new(SlowLe, 1 << 20, 9);
+        sim.steps(100_000);
+        // Candidates decay like n/(1+t/n); after 0.1 parallel time nearly
+        // all remain.
+        assert!(sim.leaders() > (1 << 20) - 100_000);
+    }
+}

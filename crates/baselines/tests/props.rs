@@ -1,0 +1,130 @@
+//! Property tests for the baseline protocols: state-space closure and
+//! elimination monotonicity.
+
+use baselines::{Bkko18, BkkoState, Gs18, SlowLe};
+use ppsim::{EnumerableProtocol, Protocol};
+use proptest::prelude::*;
+
+fn arb_bkko_state(m: u16) -> impl Strategy<Value = BkkoState> {
+    (
+        0..m,
+        any::<bool>(),
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(counter, parity, candidate, flip, void, round_parity)| BkkoState {
+            counter,
+            parity,
+            candidate,
+            flip: match flip {
+                0 => baselines::bkko18::BkkoFlip::None,
+                1 => baselines::bkko18::BkkoFlip::Heads,
+                _ => baselines::bkko18::BkkoFlip::Tails,
+            },
+            void,
+            round_parity,
+        })
+}
+
+proptest! {
+    /// Bkko18's transition never leaves the enumerated state space.
+    #[test]
+    fn bkko_transitions_stay_enumerable(
+        a in arb_bkko_state(60),
+        b in arb_bkko_state(60),
+    ) {
+        let p = Bkko18::with_modulus(60);
+        let (a2, b2) = p.transition(a, b);
+        for s in [a2, b2] {
+            let id = p.state_id(s);
+            prop_assert!(id < p.num_states());
+            prop_assert_eq!(p.state_from_id(id), s);
+        }
+    }
+
+    /// Bkko18 never creates candidates.
+    #[test]
+    fn bkko_candidacy_is_monotone(
+        a in arb_bkko_state(60),
+        b in arb_bkko_state(60),
+    ) {
+        let p = Bkko18::with_modulus(60);
+        let before = a.candidate as u8 + b.candidate as u8;
+        let (a2, b2) = p.transition(a, b);
+        let after = a2.candidate as u8 + b2.candidate as u8;
+        prop_assert!(after <= before);
+    }
+
+    /// Two Bkko18 candidates meeting lose exactly one of them (the duel),
+    /// never both.
+    #[test]
+    fn bkko_duel_keeps_exactly_one(
+        a in arb_bkko_state(60),
+        b in arb_bkko_state(60),
+    ) {
+        let p = Bkko18::with_modulus(60);
+        prop_assume!(a.candidate && b.candidate);
+        let (a2, b2) = p.transition(a, b);
+        // The duel kills one; the broadcast may kill the responder too,
+        // but never both ways: at least one candidate remains unless the
+        // responder was eliminated by broadcast AND lost the duel — the
+        // duel then spares the initiator. Either way: >= 1 stays.
+        prop_assert!(a2.candidate || b2.candidate, "{:?} + {:?} -> {:?} + {:?}", a, b, a2, b2);
+    }
+
+    /// The Bkko18 counter advances by exactly one (mod m) for the
+    /// responder and not at all for the initiator.
+    #[test]
+    fn bkko_clock_semantics(
+        a in arb_bkko_state(60),
+        b in arb_bkko_state(60),
+    ) {
+        let p = Bkko18::with_modulus(60);
+        let (a2, b2) = p.transition(a, b);
+        prop_assert_eq!(a2.counter, (a.counter + 1) % 60);
+        prop_assert_eq!(b2.counter, b.counter);
+        // The responder's parity bit always toggles.
+        prop_assert_eq!(a2.parity, !a.parity);
+    }
+
+    /// The slow protocol conserves "at least one candidate" pairwise and
+    /// eliminates at most one per interaction.
+    #[test]
+    fn slow_elimination_is_one_at_a_time(a in any::<bool>(), b in any::<bool>()) {
+        let p = SlowLe;
+        let (a2, b2) = p.transition(a, b);
+        let before = a as u8 + b as u8;
+        let after = a2 as u8 + b2 as u8;
+        prop_assert!(after <= before);
+        prop_assert!(before - after <= 1);
+        if before >= 1 {
+            prop_assert!(after >= 1);
+        }
+    }
+}
+
+#[test]
+fn gs18_state_space_is_smaller_than_gsu19_at_every_n() {
+    for exp in [9u32, 12, 16, 20] {
+        let n = 1u64 << exp;
+        let gs = Gs18::for_population(n);
+        let gsu = core_protocol::Gsu19::for_population(n);
+        assert!(
+            gs.num_states() < gsu.num_states(),
+            "n=2^{exp}: {} vs {}",
+            gs.num_states(),
+            gsu.num_states()
+        );
+    }
+}
+
+#[test]
+fn bkko_state_count_tracks_log_n() {
+    let s10 = Bkko18::for_population(1 << 10).num_states() as f64;
+    let s20 = Bkko18::for_population(1 << 20).num_states() as f64;
+    let s30 = Bkko18::for_population(1 << 30).num_states() as f64;
+    assert!((s20 / s10 - 2.0).abs() < 0.05);
+    assert!((s30 / s10 - 3.0).abs() < 0.05);
+}

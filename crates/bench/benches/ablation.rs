@@ -1,0 +1,205 @@
+//! Experiment ABL — ablations of the design elements Section 7 argues are
+//! load-bearing:
+//!
+//! 1. **Drag machinery** (`gsu_no_drag`): without rules (8)–(10), passive
+//!    candidates are only withdrawn by direct duels, so stabilisation
+//!    acquires a heavy tail (the paper: the drag counter is what makes the
+//!    `O(log n log log n)` *expected* bound possible).
+//! 2. **Passive mode** (`gsu_direct_withdrawal`): eliminating straight to
+//!    `W` is as fast whp but forfeits the Las Vegas guarantee — we count
+//!    extinction events (configurations with zero alive candidates, which
+//!    can never elect a leader).
+//! 3. **Slow backup** (`gsu_no_backup`): rule (11) off; still converges,
+//!    shows how much of the early thinning the duels contribute.
+
+use baselines::{gsu_direct_withdrawal, gsu_no_backup, gsu_no_drag};
+use bench::{measure_convergence, scale, Scale};
+use core_protocol::{Census, Gsu19};
+use ppsim::stats::Summary;
+use ppsim::table::{fnum, Table};
+use ppsim::{run_trials, AgentSim, Simulator};
+
+fn main() {
+    let sc = scale();
+    println!("=== ABL: design ablations (Section 7) ({sc:?} scale) ===\n");
+    stabilisation_comparison(sc);
+    passive_cleanup_latency(sc);
+    extinction_rate(sc);
+}
+
+/// What the drag counter buys, isolated: start the final epoch from a
+/// synthetic configuration with 4·log₂ n actives (so a crowd of passives
+/// forms during the reduction) and measure full stabilisation. With drag,
+/// passives are withdrawn by the rule-(9) epidemic in O(log n) once the
+/// survivor advances; without it, each passive must personally meet a
+/// senior alive candidate — a Θ(n)-flavoured tail that grows with n.
+fn passive_cleanup_latency(sc: Scale) {
+    println!("--- Passive cleanup from a synthetic final-epoch start ---");
+    let ns: &[u64] = match sc {
+        Scale::Quick => &[1 << 9, 1 << 11],
+        Scale::Default => &[1 << 10, 1 << 12, 1 << 14],
+        Scale::Large => &[1 << 10, 1 << 12, 1 << 14, 1 << 16],
+    };
+    let mut t = Table::new([
+        "variant", "n", "trials", "fail", "mean t", "median", "p90", "max",
+    ]);
+    for &n in ns {
+        let trials = match sc {
+            Scale::Quick => 8,
+            Scale::Default => 24,
+            Scale::Large => 32,
+        };
+        let k = (4.0 * (n as f64).log2()).round() as u64;
+        for (name, drag) in [("with drag", true), ("no drag", false)] {
+            let budget_parallel = 200_000.0;
+            let results: Vec<(bool, f64)> = run_trials(trials, 87, |_, seed| {
+                let proto = if drag {
+                    Gsu19::for_population(n)
+                } else {
+                    gsu_no_drag(n)
+                };
+                let params = *proto.params();
+                let states = core_protocol::synthetic::final_epoch_config(
+                    &params,
+                    n,
+                    k,
+                    seed ^ 0x5150,
+                );
+                let mut sim = AgentSim::with_states(proto, states, seed);
+                let budget = (budget_parallel * n as f64) as u64;
+                let res = ppsim::run_until_stable(&mut sim, budget);
+                (res.converged, res.parallel_time)
+            });
+            let times: Vec<f64> = results
+                .iter()
+                .filter(|r| r.0)
+                .map(|r| r.1)
+                .collect();
+            let failures = results.len() - times.len();
+            let s = Summary::of(&times);
+            t.row([
+                name.to_string(),
+                n.to_string(),
+                results.len().to_string(),
+                failures.to_string(),
+                fnum(s.mean),
+                fnum(s.median),
+                fnum(ppsim::quantile(&times, 0.9)),
+                fnum(s.max),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "Expected: 'with drag' stays ~flat in n (a few clock rounds); 'no drag'\n\
+         grows roughly linearly in n (duel-based cleanup), separating the\n\
+         variants more the larger n gets — the Section 7 argument for the drag\n\
+         counter.\n"
+    );
+}
+
+fn stabilisation_comparison(sc: Scale) {
+    println!("--- Stabilisation time: full protocol vs ablations ---");
+    let n: u64 = match sc {
+        Scale::Quick => 1 << 9,
+        _ => 1 << 11,
+    };
+    let trials = match sc {
+        Scale::Quick => 8,
+        Scale::Default => 24,
+        Scale::Large => 48,
+    };
+    // Generous budget so the no-drag tail is visible rather than censored.
+    let budget = 150_000.0;
+
+    let mut t = Table::new([
+        "variant", "trials", "fail", "mean t", "median", "p90", "max",
+    ]);
+    for (name, which) in [
+        ("gsu19 (full)", 0u8),
+        ("no drag", 1),
+        ("direct withdrawal", 2),
+        ("no backup", 3),
+    ] {
+        let stats = match which {
+            0 => measure_convergence(Gsu19::for_population, n, trials, budget, 81),
+            1 => measure_convergence(gsu_no_drag, n, trials, budget, 82),
+            2 => measure_convergence(gsu_direct_withdrawal, n, trials, budget, 83),
+            _ => measure_convergence(gsu_no_backup, n, trials, budget, 84),
+        };
+        let s = Summary::of(&stats.times);
+        t.row([
+            name.to_string(),
+            (stats.times.len() + stats.failures).to_string(),
+            stats.failures.to_string(),
+            fnum(s.mean),
+            fnum(s.median),
+            fnum(ppsim::quantile(&stats.times, 0.9)),
+            fnum(s.max),
+        ]);
+    }
+    t.print();
+    println!(
+        "Note (n = {n}): end-to-end times barely separate the variants at small\n\
+         n — the duels clean up the few endgame passives quickly. The panel\n\
+         below isolates the passive-cleanup cost where the drag counter\n\
+         actually earns its keep; 'no backup' runs slower because the duels\n\
+         also contribute early thinning.\n"
+    );
+}
+
+fn extinction_rate(sc: Scale) {
+    println!("--- Las Vegas safety: extinction events (alive candidates hit zero) ---");
+    let n: u64 = 1 << 8;
+    let trials = match sc {
+        Scale::Quick => 40,
+        Scale::Default => 200,
+        Scale::Large => 600,
+    };
+    let budget_parallel = 40_000.0;
+
+    let mut t = Table::new(["variant", "trials", "extinct", "elected", "undecided@end"]);
+    for (name, which) in [("gsu19 (full)", 0u8), ("direct withdrawal", 1)] {
+        let outcomes: Vec<(bool, bool)> = run_trials(trials, 91, |_, seed| {
+            let proto = match which {
+                0 => Gsu19::for_population(n),
+                _ => gsu_direct_withdrawal(n),
+            };
+            let params = *proto.params();
+            let mut sim = AgentSim::new(proto, n as usize, seed);
+            let budget = (budget_parallel * n as f64) as u64;
+            loop {
+                sim.steps(n / 2);
+                if sim.is_stably_elected() {
+                    return (false, true);
+                }
+                let c = Census::of(&sim, &params);
+                // Extinction: roles settled, leaders all withdrawn — a
+                // terminal no-leader configuration.
+                if c.uninitialised() == 0 && c.alive() == 0 {
+                    return (true, false);
+                }
+                if sim.interactions() >= budget {
+                    return (false, false);
+                }
+            }
+        });
+        let extinct = outcomes.iter().filter(|o| o.0).count();
+        let elected = outcomes.iter().filter(|o| o.1).count();
+        t.row([
+            name.to_string(),
+            trials.to_string(),
+            extinct.to_string(),
+            elected.to_string(),
+            (trials - extinct - elected).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "The full protocol can never go extinct (Lemma 8.1: the highest-drag\n\
+         alive candidate survives every rule). Direct withdrawal loses that\n\
+         invariant; extinctions are rare (they need heads-information to die\n\
+         out in-round) but any nonzero count certifies the Las Vegas gap the\n\
+         passive/drag construction closes. n = {n}."
+    );
+}

@@ -1,0 +1,53 @@
+//! Experiment ENG — engine micro-benchmarks (criterion): the cost of one
+//! interaction under each simulator and protocol. Not a paper artefact,
+//! but the number that bounds every other experiment's wall time.
+
+use baselines::{Bkko18, SlowLe};
+use core_protocol::Gsu19;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppsim::{AgentSim, Simulator, UrnSim};
+
+const STEPS: u64 = 10_000;
+
+fn agent_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agent_sim");
+    g.throughput(Throughput::Elements(STEPS));
+
+    let n = 1 << 14;
+    g.bench_function(BenchmarkId::new("slow", n), |b| {
+        let mut sim = AgentSim::new(SlowLe, n, 1);
+        b.iter(|| sim.steps(STEPS));
+    });
+    g.bench_function(BenchmarkId::new("bkko18", n), |b| {
+        let mut sim = AgentSim::new(Bkko18::for_population(n as u64), n, 1);
+        b.iter(|| sim.steps(STEPS));
+    });
+    g.bench_function(BenchmarkId::new("gsu19", n), |b| {
+        let mut sim = AgentSim::new(Gsu19::for_population(n as u64), n, 1);
+        b.iter(|| sim.steps(STEPS));
+    });
+    g.finish();
+}
+
+fn urn_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("urn_sim");
+    g.throughput(Throughput::Elements(STEPS));
+
+    // The urn's cost is O(log |states|) per interaction and independent of
+    // n — demonstrate with a population that no agent array could hold.
+    for npow in [14u32, 30] {
+        let n = 1u64 << npow;
+        g.bench_function(BenchmarkId::new("gsu19", format!("2^{npow}")), |b| {
+            let mut sim = UrnSim::new(Gsu19::for_population(n), n, 1);
+            b.iter(|| sim.steps(STEPS));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = agent_sim_throughput, urn_sim_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Experiment F2 — the empirical counterpart of the paper's **Figure 2**
+//! ("An idealised scheme of the fast elimination process"):
+//!
+//! ```text
+//! A ≤ n/2 --(coin Φ)--> A ≤ n^a --> ... --(coin 1)--> A ≤ c·log n
+//! ```
+//!
+//! We track the number of *active* leader candidates at every clock-round
+//! boundary through the fast-elimination epoch and compare the per-round
+//! survival factor with the coin bias `q` used in that round (Lemma 6.1:
+//! the expected reduction factor is `q` as long as heads still occur; once
+//! `A·q ≲ log n` rounds go void and the count plateaus at `O(log n)`).
+//!
+//! Two panels:
+//! * **cascade only** (rule (11) disabled) — the pure Lemma 6.2 dynamics;
+//! * **full protocol** — at bench-scale n the always-on backup duels
+//!   already thin the n/2 candidates to ~n/round-length during the long
+//!   first round (the paper: rule (11) "may only speed up the elimination
+//!   process"), so the cascade finishes from a much lower starting point.
+
+use baselines::gsu_no_backup;
+use bench::{lg, run_rounds, scale, Scale};
+use core_protocol::{Census, Gsu19, Params};
+use ppsim::table::{fnum, Table};
+use ppsim::AgentSim;
+
+fn trajectory_panel(
+    title: &str,
+    make: impl Fn(u64) -> Gsu19 + Sync,
+    n: u64,
+    trials: usize,
+    seed: u64,
+) {
+    let params = *make(n).params();
+    let total_rounds = params.cnt_init() as usize + 6;
+
+    let trajectories: Vec<Vec<(Option<u8>, u64)>> = ppsim::run_trials(trials, seed, |_, s| {
+        let proto = make(n);
+        let params = *proto.params();
+        let mut sim = AgentSim::new(proto, n as usize, s);
+        let mut traj = Vec::new();
+        run_rounds(
+            &mut sim,
+            |st| st.phase,
+            total_rounds,
+            100.0 * lg(n) * total_rounds as f64,
+            |sim, _| {
+                let c = Census::of(sim, &params);
+                traj.push((c.max_cnt, c.active));
+                true
+            },
+        );
+        traj
+    });
+
+    println!("--- {title} ---");
+    let mut t = Table::new([
+        "round", "cnt", "coin", "bias q", "mean A", "A_next/A", "note",
+    ]);
+    let rounds = trajectories.iter().map(|t| t.len()).min().unwrap_or(0);
+    let mut prev_mean: Option<f64> = None;
+    for r in 0..rounds {
+        let actives: Vec<f64> = trajectories.iter().map(|t| t[r].1 as f64).collect();
+        let mean = ppsim::mean(&actives);
+        let cnt = trajectories[0][r].0;
+        let (coin, bias) = describe_coin(&params, cnt);
+        let factor = prev_mean.map(|p| mean / p);
+        let note = if cnt == Some(0) {
+            "final epoch"
+        } else if mean <= 10.0 * lg(n) {
+            "<= c*log n plateau"
+        } else {
+            ""
+        };
+        t.row([
+            r.to_string(),
+            cnt.map(|c| c.to_string()).unwrap_or_default(),
+            coin,
+            bias,
+            fnum(mean),
+            factor.map(|f| format!("{f:.3}")).unwrap_or_default(),
+            note.to_string(),
+        ]);
+        prev_mean = Some(mean);
+    }
+    t.print();
+    println!();
+}
+
+fn describe_coin(params: &Params, cnt: Option<u8>) -> (String, String) {
+    match cnt {
+        Some(c) => match params.coin_for_cnt(c) {
+            Some(l) => (format!("{l}"), format!("{:.2e}", params.coin_bias(l))),
+            None => ("-".into(), "-".into()),
+        },
+        None => ("-".into(), "-".into()),
+    }
+}
+
+fn main() {
+    let sc = scale();
+    let n: u64 = match sc {
+        Scale::Quick => 1 << 11,
+        Scale::Default => 1 << 13,
+        Scale::Large => 1 << 15,
+    };
+    let trials = sc.trials(n).min(12);
+    println!("=== F2: fast elimination trajectory (Figure 2), n = {n} ===\n");
+
+    trajectory_panel(
+        "cascade only (backup rule (11) disabled)",
+        gsu_no_backup,
+        n,
+        trials,
+        21,
+    );
+    trajectory_panel("full protocol", Gsu19::for_population, n, trials, 22);
+
+    println!(
+        "Expected shape (cascade panel): A starts at ≈ n/2, each coin-ℓ round\n\
+         multiplies it by ≈ q (Lemma 6.1) until the O(log n) plateau\n\
+         (c·log₂ n ≈ {:.0} here), after which rounds go void; the final epoch\n\
+         (coin 0, q ≈ 1/4) finishes the job (Lemma 6.2 / Figure 2).",
+        10.0 * lg(n)
+    );
+}

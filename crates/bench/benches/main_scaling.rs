@@ -1,0 +1,92 @@
+//! Experiment MAIN — the headline claim (**Theorem 8.2**): the paper's
+//! protocol stabilises in `O(log n · log log n)` expected parallel time,
+//! beating the `O(log² n)` of its predecessor GS18.
+//!
+//! We measure expected stabilisation time across a grid of population
+//! sizes for GSU19, GS18 and BKKO18, print the normalised columns, and
+//! fit `t = a·x + b` for both candidate shapes, reporting `r²` for each.
+//! At feasible n the absolute times of GSU19 and GS18 are close (the
+//! asymptotic gap is Θ(log n) vs Θ(log log n) *rounds*, and
+//! `log₄ n ≈ 2Φ+3+O(log log n)` until n ≈ 2²⁴); the discriminating signal
+//! is the growth *trend* of the normalised columns.
+
+use baselines::{Bkko18, Gs18};
+use bench::{lg, lg2, lg_lglg, measure_convergence, scale};
+use core_protocol::Gsu19;
+use ppsim::stats::{linear_fit, Summary};
+use ppsim::table::{fnum, Table};
+
+fn main() {
+    let sc = scale();
+    println!("=== MAIN: expected stabilisation time vs n (Theorem 8.2) ({sc:?} scale) ===\n");
+
+    let grid = sc.n_grid();
+    let mut results: Vec<(&str, Vec<(u64, f64, f64)>)> = Vec::new();
+
+    for (name, idx) in [("gsu19", 0u64), ("gs18", 1), ("bkko18", 2)] {
+        let mut rows = Vec::new();
+        for &n in &grid {
+            let trials = sc.trials(n);
+            let stats = match idx {
+                0 => measure_convergence(Gsu19::for_population, n, trials, 60_000.0, 71),
+                1 => measure_convergence(Gs18::for_population, n, trials, 60_000.0, 72),
+                _ => measure_convergence(Bkko18::for_population, n, trials, 60_000.0, 73),
+            };
+            let s = Summary::of(&stats.times);
+            rows.push((n, s.mean, s.ci95));
+            if stats.failures > 0 {
+                println!("note: {name} n={n}: {} budget failures", stats.failures);
+            }
+        }
+        results.push((name, rows));
+    }
+
+    let mut t = Table::new([
+        "protocol", "n", "mean t", "ci95", "t/log n", "t/log2 n", "t/(lg*lglg)",
+    ]);
+    for (name, rows) in &results {
+        for &(n, mean, ci) in rows {
+            t.row([
+                name.to_string(),
+                n.to_string(),
+                fnum(mean),
+                fnum(ci),
+                fnum(mean / lg(n)),
+                format!("{:.3}", mean / lg2(n)),
+                format!("{:.3}", mean / lg_lglg(n)),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\n--- Shape fits: t = a·x + b ---");
+    let mut t = Table::new(["protocol", "x = lg*lglg: r2", "x = log2 n: r2", "better fit"]);
+    for (name, rows) in &results {
+        let ns: Vec<f64> = rows.iter().map(|r| r.0 as f64).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let xs1: Vec<f64> = ns.iter().map(|&n| lg_lglg(n as u64)).collect();
+        let xs2: Vec<f64> = ns.iter().map(|&n| lg2(n as u64)).collect();
+        let (_, _, r2_a) = linear_fit(&xs1, &ys);
+        let (_, _, r2_b) = linear_fit(&xs2, &ys);
+        t.row([
+            name.to_string(),
+            format!("{r2_a:.4}"),
+            format!("{r2_b:.4}"),
+            if r2_a >= r2_b {
+                "log n * log log n"
+            } else {
+                "log^2 n"
+            }
+            .to_string(),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nReading guide: gsu19's t/(lg·lglg) column should be the flattest;\n\
+         gs18/bkko18's t/log²n columns should be flat while their t/(lg·lglg)\n\
+         rises. Both fits are near-linear at this n-range (the bounds differ\n\
+         by a log n / log log n factor that moves slowly); the trend columns\n\
+         carry the signal. Paper: Theorem 8.2 and Table 1."
+    );
+}

@@ -1,0 +1,37 @@
+//! One-off probe of the GSU19-vs-GS18 crossover region (n = 2^20), used
+//! for the EXPERIMENTS.md discussion of Theorem 8.2: the expected-time gap
+//! closes as n grows (extrapolated crossover ≈ 2^24).
+
+use baselines::Gs18;
+use core_protocol::Gsu19;
+use ppsim::{run_trials, run_until_stable, AgentSim, Summary};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 20);
+    let trials: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    for proto in ["gsu19", "gs18"] {
+        let times = run_trials(trials, 300, |_, seed| {
+            let res = if proto == "gsu19" {
+                let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
+                run_until_stable(&mut sim, 30_000 * n)
+            } else {
+                let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, seed);
+                run_until_stable(&mut sim, 30_000 * n)
+            };
+            assert!(res.converged);
+            res.parallel_time
+        });
+        let s = Summary::of(&times);
+        let l = (n as f64).log2();
+        println!(
+            "{proto} n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
+            l, s.mean, s.ci95, s.median, s.mean / (l * l), s.mean / (l * l.log2()),
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared machinery for the benchmark harness.
+//!
+//! Every table/figure/lemma of the paper has one bench target under
+//! `benches/`; see DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results. All targets honour the
+//! `PP_SCALE` environment variable: `quick` (CI smoke), `default`, or
+//! `large` (bigger grids and more trials).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use ppsim::{run_trials, run_until_stable, AgentSim, Protocol, Simulator};
+
+/// Experiment scale, from the `PP_SCALE` environment variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Default,
+    Large,
+}
+
+/// Read the scale from the environment (default: [`Scale::Default`]).
+pub fn scale() -> Scale {
+    match std::env::var("PP_SCALE").as_deref() {
+        Ok("quick") => Scale::Quick,
+        Ok("large") => Scale::Large,
+        _ => Scale::Default,
+    }
+}
+
+impl Scale {
+    /// Population grid (powers of two) for convergence experiments.
+    pub fn n_grid(self) -> Vec<u64> {
+        let exps: &[u32] = match self {
+            Scale::Quick => &[9, 10, 11],
+            Scale::Default => &[9, 10, 11, 12, 13, 14],
+            Scale::Large => &[9, 10, 11, 12, 13, 14, 15, 16, 17],
+        };
+        exps.iter().map(|&e| 1u64 << e).collect()
+    }
+
+    /// Trials per configuration, shrinking with population size so wall
+    /// time stays bounded.
+    pub fn trials(self, n: u64) -> usize {
+        let base = match self {
+            Scale::Quick => 6,
+            Scale::Default => 24,
+            Scale::Large => 48,
+        };
+        let shrink = ((n as f64).log2() as usize).saturating_sub(11);
+        (base >> (shrink / 2)).max(4)
+    }
+}
+
+/// Results of a convergence experiment at one population size.
+#[derive(Clone, Debug)]
+pub struct ConvergenceStats {
+    pub n: u64,
+    /// Parallel times of converged trials.
+    pub times: Vec<f64>,
+    /// Trials that did not stabilise within the budget.
+    pub failures: usize,
+}
+
+/// Run `trials` independent convergence trials of `make(n)` in parallel
+/// and collect parallel times. `budget_parallel` is the per-trial budget in
+/// parallel-time units.
+pub fn measure_convergence<P, F>(
+    make: F,
+    n: u64,
+    trials: usize,
+    budget_parallel: f64,
+    master_seed: u64,
+) -> ConvergenceStats
+where
+    P: Protocol,
+    F: Fn(u64) -> P + Sync,
+{
+    let budget = (budget_parallel * n as f64) as u64;
+    let results = run_trials(trials, master_seed, |_, seed| {
+        let mut sim = AgentSim::new(make(n), n as usize, seed);
+        let res = run_until_stable(&mut sim, budget);
+        (res.converged, res.parallel_time)
+    });
+    let mut times = Vec::new();
+    let mut failures = 0;
+    for (ok, t) in results {
+        if ok {
+            times.push(t);
+        } else {
+            failures += 1;
+        }
+    }
+    ConvergenceStats { n, times, failures }
+}
+
+/// Count the distinct states observed along one trajectory (sampled every
+/// `n/2` interactions plus the final configuration). A lower bound on the
+/// reachable-state count that makes the "states" column of Table 1
+/// measurable rather than theoretical.
+pub fn observed_states<P>(make: impl Fn(u64) -> P, n: u64, budget_parallel: f64, seed: u64) -> usize
+where
+    P: Protocol,
+    P::State: Eq + Hash,
+{
+    let mut sim = AgentSim::new(make(n), n as usize, seed);
+    let mut seen: HashSet<P::State> = HashSet::new();
+    let budget = (budget_parallel * n as f64) as u64;
+    loop {
+        for &s in sim.states() {
+            seen.insert(s);
+        }
+        if sim.is_stably_elected() || sim.interactions() >= budget {
+            break;
+        }
+        sim.steps(n / 2);
+    }
+    seen.len()
+}
+
+/// Drive an [`AgentSim`] round by round, invoking `on_round` at each round
+/// boundary of agent 0 (detected as a decrease of its clock phase). Stops
+/// after `max_rounds` boundaries, when `budget_parallel` expires, or when
+/// `on_round` returns `false`.
+///
+/// Returns the number of completed rounds.
+pub fn run_rounds<P, F>(
+    sim: &mut AgentSim<P>,
+    phase_of: impl Fn(&P::State) -> u16,
+    max_rounds: usize,
+    budget_parallel: f64,
+    mut on_round: F,
+) -> usize
+where
+    P: Protocol,
+    F: FnMut(&AgentSim<P>, usize) -> bool,
+{
+    let n = sim.population();
+    let chunk = (n / 8).max(1);
+    let budget = (budget_parallel * n as f64) as u64;
+    let mut last_phase = phase_of(&sim.states()[0]);
+    let mut rounds = 0;
+    while rounds < max_rounds && sim.interactions() < budget {
+        sim.steps(chunk);
+        let phase = phase_of(&sim.states()[0]);
+        // A wrap shows up as a large decrease; small jitter (max_Γ moving
+        // backwards never happens, so any decrease is a wrap).
+        if phase < last_phase {
+            rounds += 1;
+            if !on_round(sim, rounds) {
+                break;
+            }
+        }
+        last_phase = phase;
+    }
+    rounds
+}
+
+/// `log₂ n`.
+pub fn lg(n: u64) -> f64 {
+    (n as f64).log2()
+}
+
+/// `log₂ n · log₂ log₂ n`, the paper's headline bound shape.
+pub fn lg_lglg(n: u64) -> f64 {
+    lg(n) * lg(n).log2().max(1.0)
+}
+
+/// `log₂² n`, the GS18 bound shape.
+pub fn lg2(n: u64) -> f64 {
+    lg(n) * lg(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::SlowLe;
+
+    #[test]
+    fn scale_grids_are_ordered() {
+        assert!(Scale::Quick.n_grid().len() < Scale::Large.n_grid().len());
+        for g in [Scale::Quick, Scale::Default, Scale::Large] {
+            let grid = g.n_grid();
+            assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn trials_shrink_with_n() {
+        let s = Scale::Default;
+        assert!(s.trials(1 << 9) >= s.trials(1 << 16));
+        assert!(s.trials(1 << 20) >= 4);
+    }
+
+    #[test]
+    fn measure_convergence_on_slow_protocol() {
+        let stats = measure_convergence(|_| SlowLe, 64, 8, 10_000.0, 1);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.times.len(), 8);
+        assert!(stats.times.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn measure_convergence_reports_budget_failures() {
+        let stats = measure_convergence(|_| SlowLe, 256, 4, 0.5, 1);
+        assert_eq!(stats.failures, 4);
+    }
+
+    #[test]
+    fn observed_states_counts_both_slow_states() {
+        let k = observed_states(|_| SlowLe, 64, 10_000.0, 3);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn shape_helpers() {
+        assert_eq!(lg(1024), 10.0);
+        assert_eq!(lg2(1024), 100.0);
+        assert!((lg_lglg(1024) - 10.0 * 10f64.log2()).abs() < 1e-12);
+    }
+}

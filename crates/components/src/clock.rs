@@ -1,0 +1,291 @@
+//! The junta-driven phase clock of Section 3 (introduced in GS18).
+//!
+//! Every agent carries a phase in `{0, …, Γ−1}`. On an interaction the
+//! *responder* updates its phase:
+//!
+//! * ordinary agents ("followers" in clock terms):  `t₁ ← max_Γ(t₁, t₂)`;
+//! * junta members:                                 `t₁ ← max_Γ(t₁, t₂ +Γ 1)`,
+//!
+//! where `max_Γ` picks the circular maximum when the two phases are within
+//! `Γ/2` of each other, and the circular minimum otherwise (so that a packed
+//! population wraps coherently). Junta members are the engine: they push the
+//! maximal phase forward, and the epidemic of `max_Γ` drags everyone behind
+//! it. With a junta of size `≤ n^{1−ε}`, consecutive *passes through zero*
+//! of the population are separated by Θ(log n) parallel time (Theorem 3.2) —
+//! this is what turns the asynchronous soup into synchronised **rounds**.
+//!
+//! The protocol rules are gated on this clock:
+//!
+//! * `0→` rules fire when the responder's phase **passes zero** (wraps);
+//! * `early→` rules fire when start and end phase lie in `{0, …, Γ/2−1}`;
+//! * `late→` rules fire when start and end phase lie in `{Γ/2, …, Γ−1}`.
+
+/// Which half of the round a phase lies in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Half {
+    /// Phases `0 … Γ/2 − 1`: coin-flipping happens here.
+    Early,
+    /// Phases `Γ/2 … Γ − 1`: heads-broadcast happens here.
+    Late,
+}
+
+/// Result of a responder clock update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClockTick {
+    /// Phase before the update.
+    pub old_phase: u16,
+    /// Phase after the update.
+    pub phase: u16,
+    /// Whether this update passed through zero (the `0→` trigger): the
+    /// phase wrapped from the high region to the low region, i.e. was
+    /// "reduced in absolute terms".
+    pub passed_zero: bool,
+}
+
+/// Phase-clock parameters and arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Clock {
+    gamma: u16,
+}
+
+impl Clock {
+    /// A clock with modulus `gamma`.
+    ///
+    /// # Panics
+    /// Panics unless `gamma` is even and at least 4 (the construction needs
+    /// well-defined halves and a wrap region).
+    pub fn new(gamma: u16) -> Self {
+        assert!(gamma >= 4 && gamma % 2 == 0, "gamma must be even and >= 4");
+        Self { gamma }
+    }
+
+    /// The modulus Γ.
+    #[inline]
+    pub fn gamma(&self) -> u16 {
+        self.gamma
+    }
+
+    /// Addition modulo Γ.
+    #[inline]
+    pub fn add(&self, x: u16, k: u16) -> u16 {
+        debug_assert!(x < self.gamma);
+        let s = x + k;
+        if s >= self.gamma {
+            s - self.gamma
+        } else {
+            s
+        }
+    }
+
+    /// `max_Γ(x, y)`: the circular maximum — the regular maximum when
+    /// `|x − y| ≤ Γ/2`, otherwise the minimum (the smaller value is "ahead"
+    /// across the wrap).
+    #[inline]
+    pub fn max_gamma(&self, x: u16, y: u16) -> u16 {
+        debug_assert!(x < self.gamma && y < self.gamma);
+        let diff = x.abs_diff(y);
+        if diff <= self.gamma / 2 {
+            x.max(y)
+        } else {
+            x.min(y)
+        }
+    }
+
+    /// Responder phase update. `is_junta` selects between the follower rule
+    /// `max_Γ(t₁, t₂)` and the junta rule `max_Γ(t₁, t₂ +Γ 1)`.
+    #[inline]
+    pub fn update(&self, is_junta: bool, t1: u16, t2: u16) -> ClockTick {
+        let target = if is_junta { self.add(t2, 1) } else { t2 };
+        let new = self.max_gamma(t1, target);
+        ClockTick {
+            old_phase: t1,
+            phase: new,
+            // A wrap is the only way the adopted phase can be numerically
+            // smaller: max_Γ only ever moves forward along the circle.
+            passed_zero: new < t1 && t1 - new > self.gamma / 2,
+        }
+    }
+
+    /// The half of the round `phase` belongs to.
+    #[inline]
+    pub fn half(&self, phase: u16) -> Half {
+        if phase < self.gamma / 2 {
+            Half::Early
+        } else {
+            Half::Late
+        }
+    }
+
+    /// `early→` gate: both endpoints of the responder's update lie in the
+    /// first half and the update did not wrap.
+    #[inline]
+    pub fn is_early(&self, tick: ClockTick) -> bool {
+        !tick.passed_zero
+            && self.half(tick.old_phase) == Half::Early
+            && self.half(tick.phase) == Half::Early
+    }
+
+    /// `late→` gate: both endpoints lie in the second half.
+    #[inline]
+    pub fn is_late(&self, tick: ClockTick) -> bool {
+        !tick.passed_zero
+            && self.half(tick.old_phase) == Half::Late
+            && self.half(tick.phase) == Half::Late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> Clock {
+        Clock::new(16)
+    }
+
+    #[test]
+    fn max_gamma_plain_region() {
+        let c = clock();
+        assert_eq!(c.max_gamma(3, 5), 5);
+        assert_eq!(c.max_gamma(5, 3), 5);
+        assert_eq!(c.max_gamma(7, 7), 7);
+        // Distance exactly Γ/2 counts as "close": regular max.
+        assert_eq!(c.max_gamma(0, 8), 8);
+    }
+
+    #[test]
+    fn max_gamma_wrap_region() {
+        let c = clock();
+        // 15 and 1 are 2 apart on the circle; 1 is ahead.
+        assert_eq!(c.max_gamma(15, 1), 1);
+        assert_eq!(c.max_gamma(1, 15), 1);
+        assert_eq!(c.max_gamma(14, 2), 2);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let c = clock();
+        assert_eq!(c.add(15, 1), 0);
+        assert_eq!(c.add(8, 7), 15);
+        assert_eq!(c.add(8, 8), 0);
+    }
+
+    #[test]
+    fn follower_adopts_forward_phase() {
+        let c = clock();
+        let t = c.update(false, 3, 7);
+        assert_eq!(t.phase, 7);
+        assert!(!t.passed_zero);
+    }
+
+    #[test]
+    fn follower_ignores_stale_phase() {
+        let c = clock();
+        let t = c.update(false, 7, 3);
+        assert_eq!(t.phase, 7);
+        assert!(!t.passed_zero);
+    }
+
+    #[test]
+    fn junta_ticks_forward() {
+        let c = clock();
+        // Junta member at 0 meeting phase 0 moves to 1.
+        let t = c.update(true, 0, 0);
+        assert_eq!(t.phase, 1);
+        assert!(!t.passed_zero);
+    }
+
+    #[test]
+    fn junta_wraps_through_zero() {
+        let c = clock();
+        let t = c.update(true, 15, 15);
+        assert_eq!(t.phase, 0);
+        assert!(t.passed_zero);
+    }
+
+    #[test]
+    fn follower_wraps_through_zero() {
+        let c = clock();
+        let t = c.update(false, 15, 1);
+        assert_eq!(t.phase, 1);
+        assert!(t.passed_zero);
+    }
+
+    #[test]
+    fn no_pass_when_stationary_at_zero() {
+        let c = clock();
+        let t = c.update(false, 0, 0);
+        assert_eq!(t.phase, 0);
+        assert!(!t.passed_zero);
+    }
+
+    #[test]
+    fn halves() {
+        let c = clock();
+        assert_eq!(c.half(0), Half::Early);
+        assert_eq!(c.half(7), Half::Early);
+        assert_eq!(c.half(8), Half::Late);
+        assert_eq!(c.half(15), Half::Late);
+    }
+
+    #[test]
+    fn early_late_gates() {
+        let c = clock();
+        assert!(c.is_early(c.update(false, 2, 5)));
+        assert!(!c.is_late(c.update(false, 2, 5)));
+        assert!(c.is_late(c.update(false, 9, 12)));
+        // Straddling the half boundary is neither early nor late.
+        let straddle = c.update(false, 6, 10);
+        assert!(!c.is_early(straddle) && !c.is_late(straddle));
+        // A wrap is neither.
+        let wrap = c.update(false, 15, 2);
+        assert!(wrap.passed_zero);
+        assert!(!c.is_early(wrap) && !c.is_late(wrap));
+    }
+
+    #[test]
+    fn passes_are_detected_for_all_start_phases() {
+        // From any phase in the wrap window, adopting a small phase across
+        // zero must register as a pass.
+        let c = Clock::new(32);
+        for old in 25..32u16 {
+            for new_target in 0..4u16 {
+                let t = c.update(false, old, new_target);
+                assert_eq!(t.phase, new_target, "old={old} target={new_target}");
+                assert!(t.passed_zero);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_gamma_rejected() {
+        let _ = Clock::new(15);
+    }
+
+    #[test]
+    fn max_gamma_is_commutative_everywhere() {
+        let c = Clock::new(24);
+        for x in 0..24 {
+            for y in 0..24 {
+                assert_eq!(c.max_gamma(x, y), c.max_gamma(y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn update_never_moves_backward_without_wrap() {
+        // For every (t1, t2): either phase >= t1, or it wrapped (passed 0).
+        let c = Clock::new(24);
+        for t1 in 0..24 {
+            for t2 in 0..24 {
+                for junta in [false, true] {
+                    let t = c.update(junta, t1, t2);
+                    assert!(
+                        t.phase >= t1 || t.passed_zero,
+                        "t1={t1} t2={t2} junta={junta} -> {t:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! One-way epidemic — the broadcast primitive of \[AAE08a\].
+//!
+//! A bit spreads from initiator to responder: once any agent is "infected",
+//! every agent becomes infected within Θ(log n) parallel time with high
+//! probability. The paper uses this primitive to broadcast "someone drew
+//! heads" during the late half of every elimination round (rules (6), (7)),
+//! to spread `high` among inhibitors of one drag level (rule (8)), and to
+//! spread the maximal drag value among leader candidates (rule (9)).
+//!
+//! Inside the composed protocols the rule is a one-line bit-OR; the
+//! standalone [`Epidemic`] protocol here exists so the primitive's Θ(log n)
+//! completion time can be measured and tested in isolation (the constants
+//! matter: they dictate how large the clock modulus Γ must be for a
+//! half-round to fit a broadcast whp).
+
+use ppsim::{Output, Protocol};
+
+/// Standalone one-way epidemic: state is "infected?".
+///
+/// Use [`ppsim::AgentSim::with_states`] to start from a configuration with
+/// a chosen number of sources (the all-equal initial configuration of the
+/// standard model cannot seed a single source).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Epidemic;
+
+impl Protocol for Epidemic {
+    type State = bool;
+
+    fn initial_state(&self) -> bool {
+        false
+    }
+
+    fn transition(&self, responder: bool, initiator: bool) -> (bool, bool) {
+        (responder || initiator, initiator)
+    }
+
+    fn output(&self, s: bool) -> Output {
+        // Output mapping is irrelevant for the primitive; expose infection
+        // as "Leader" so `Simulator::leaders()` counts infected agents.
+        if s {
+            Output::Leader
+        } else {
+            Output::Follower
+        }
+    }
+}
+
+impl ppsim::EnumerableProtocol for Epidemic {
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn state_id(&self, s: bool) -> usize {
+        s as usize
+    }
+    fn state_from_id(&self, id: usize) -> bool {
+        id == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{run_until, AgentSim, Simulator};
+
+    fn seeded_population(n: usize, sources: usize, seed: u64) -> AgentSim<Epidemic> {
+        let mut states = vec![false; n];
+        for s in states.iter_mut().take(sources) {
+            *s = true;
+        }
+        AgentSim::with_states(Epidemic, states, seed)
+    }
+
+    #[test]
+    fn infection_is_monotone() {
+        let mut sim = seeded_population(256, 1, 3);
+        let mut prev = sim.leaders();
+        for _ in 0..20_000 {
+            sim.step();
+            let cur = sim.leaders();
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn single_source_saturates() {
+        let n = 1024;
+        let mut sim = seeded_population(n, 1, 7);
+        let res = run_until(&mut sim, (n as u64) * 200, |s| s.leaders() == n as u64);
+        assert!(res.converged, "epidemic did not saturate");
+    }
+
+    #[test]
+    fn completion_time_is_logarithmic() {
+        // One-way epidemic completes in c·log n parallel time; measure the
+        // constant at two sizes and check it does not blow up with n.
+        let mut cs = Vec::new();
+        for &n in &[1usize << 9, 1 << 12] {
+            let mut times = Vec::new();
+            for t in 0..10u64 {
+                let mut sim = seeded_population(n, 1, 100 + t);
+                let res =
+                    run_until(&mut sim, (n as u64) * 500, |s| s.leaders() == n as u64);
+                assert!(res.converged);
+                times.push(res.parallel_time);
+            }
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            cs.push(mean / (n as f64).log2());
+        }
+        // Constants at both sizes should be in a sane band and similar.
+        for &c in &cs {
+            assert!(c > 0.5 && c < 6.0, "epidemic constant {c}");
+        }
+        let ratio = cs[1] / cs[0];
+        assert!(ratio < 1.6, "constant grew with n: {cs:?}");
+    }
+
+    #[test]
+    fn no_source_means_no_infection() {
+        let mut sim = AgentSim::new(Epidemic, 64, 5);
+        sim.steps(50_000);
+        assert_eq!(sim.leaders(), 0);
+    }
+
+    #[test]
+    fn all_infected_stays_all_infected() {
+        let mut sim = seeded_population(32, 32, 5);
+        sim.steps(10_000);
+        assert_eq!(sim.leaders(), 32);
+    }
+}

@@ -1,0 +1,137 @@
+//! Synthetic coins — randomness extracted from the scheduler (AAE+17).
+//!
+//! Population-protocol transitions are deterministic; the only randomness is
+//! the scheduler's choice of pairs. Two extraction mechanisms appear in the
+//! paper:
+//!
+//! * **Parity coin** (AAE+17, used by the GS18 baseline): every agent
+//!   toggles a bit on each interaction it takes part in. After O(1) parallel
+//!   time the bits are nearly perfectly balanced across the population, so
+//!   *reading the partner's bit* is a fair coin flip up to an
+//!   exponentially small bias.
+//! * **Level coins** (this paper, Section 5): reading *whether the partner
+//!   is a coin agent at level ≥ ℓ* is a coin with heads probability
+//!   `C_ℓ/n` — an asymmetric coin with polynomially small bias at the top
+//!   levels. These are implemented by the level race in [`crate::junta`];
+//!   this module provides their idealised bias for the figure benches.
+
+use crate::junta::expected_fraction_at_level;
+
+/// The AAE+17 parity coin.
+///
+/// Embed a `bool` in the agent state, call [`ParityCoin::toggle`] for both
+/// participants on every interaction, and use the *initiator's pre-toggle
+/// bit* as the flip result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParityCoin;
+
+impl ParityCoin {
+    /// The new bit after taking part in one interaction.
+    #[inline]
+    pub fn toggle(bit: bool) -> bool {
+        !bit
+    }
+
+    /// Interpret the partner's bit as a coin flip.
+    #[inline]
+    pub fn flip(partner_bit: bool) -> bool {
+        partner_bit
+    }
+}
+
+/// Idealised heads probability of the level-ℓ coin when the racing
+/// population is a `base_fraction` of the whole population (1/4 for the
+/// paper's sub-population `C`).
+///
+/// Heads ⇔ the initiator races at level ≥ ℓ, so the bias equals the
+/// expected fraction of the population at level ≥ ℓ.
+pub fn expected_level_fraction(base_fraction: f64, level: u8) -> f64 {
+    expected_fraction_at_level(base_fraction, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{AgentSim, Output, Protocol, Simulator};
+
+    /// Minimal protocol: each agent is just its parity bit.
+    struct ParityOnly;
+    impl Protocol for ParityOnly {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn transition(&self, r: bool, i: bool) -> (bool, bool) {
+            (ParityCoin::toggle(r), ParityCoin::toggle(i))
+        }
+        fn output(&self, s: bool) -> Output {
+            if s {
+                Output::Leader
+            } else {
+                Output::Follower
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_alternates() {
+        assert!(ParityCoin::toggle(false));
+        assert!(!ParityCoin::toggle(true));
+    }
+
+    #[test]
+    fn population_bits_balance_quickly() {
+        let n = 4096u64;
+        let mut sim = AgentSim::new(ParityOnly, n as usize, 11);
+        // After ~4 parallel time units the set bits should be close to n/2.
+        sim.steps(4 * n);
+        let ones = sim.leaders();
+        let frac = ones as f64 / n as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "parity bits unbalanced: {frac}"
+        );
+    }
+
+    #[test]
+    fn parity_flip_sequence_is_balanced_for_one_agent() {
+        // Follow one agent's reads over a long run: the empirical heads
+        // fraction of the coin it observes must be near 1/2.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = 512usize;
+        let mut bits = vec![false; n];
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut heads = 0u64;
+        let mut flips = 0u64;
+        // Warm-up to decorrelate from the all-zero start.
+        for _ in 0..50_000 {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            if a == 0 {
+                // Agent 0 reads its partner's pre-toggle bit.
+                if flips < u64::MAX {
+                    if ParityCoin::flip(bits[b]) {
+                        heads += 1;
+                    }
+                    flips += 1;
+                }
+            }
+            bits[a] = ParityCoin::toggle(bits[a]);
+            bits[b] = ParityCoin::toggle(bits[b]);
+        }
+        let frac = heads as f64 / flips as f64;
+        assert!((frac - 0.5).abs() < 0.1, "observed bias {frac}");
+    }
+
+    #[test]
+    fn level_fraction_matches_junta_module() {
+        assert_eq!(
+            expected_level_fraction(0.25, 2),
+            crate::junta::expected_fraction_at_level(0.25, 2)
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the phase-clock arithmetic, over arbitrary moduli.
+
+use components::clock::Clock;
+use proptest::prelude::*;
+
+/// Strategy for a valid clock modulus (even, ≥ 4).
+fn arb_gamma() -> impl Strategy<Value = u16> {
+    (2u16..64).prop_map(|h| h * 2)
+}
+
+proptest! {
+    #[test]
+    fn max_gamma_is_commutative(gamma in arb_gamma(), a in 0u16..128, b in 0u16..128) {
+        let c = Clock::new(gamma);
+        let (x, y) = (a % gamma, b % gamma);
+        prop_assert_eq!(c.max_gamma(x, y), c.max_gamma(y, x));
+    }
+
+    #[test]
+    fn max_gamma_is_idempotent(gamma in arb_gamma(), a in 0u16..128) {
+        let c = Clock::new(gamma);
+        let x = a % gamma;
+        prop_assert_eq!(c.max_gamma(x, x), x);
+    }
+
+    #[test]
+    fn max_gamma_returns_one_of_its_arguments(gamma in arb_gamma(), a in 0u16..128, b in 0u16..128) {
+        let c = Clock::new(gamma);
+        let (x, y) = (a % gamma, b % gamma);
+        let m = c.max_gamma(x, y);
+        prop_assert!(m == x || m == y);
+    }
+
+    #[test]
+    fn add_is_modular(gamma in arb_gamma(), a in 0u16..128, k in 0u16..128) {
+        let c = Clock::new(gamma);
+        let x = a % gamma;
+        let k = k % gamma;
+        prop_assert_eq!(c.add(x, k), (x + k) % gamma);
+    }
+
+    #[test]
+    fn update_result_is_valid_phase(
+        gamma in arb_gamma(),
+        a in 0u16..128,
+        b in 0u16..128,
+        junta in any::<bool>(),
+    ) {
+        let c = Clock::new(gamma);
+        let t = c.update(junta, a % gamma, b % gamma);
+        prop_assert!(t.phase < gamma);
+        prop_assert_eq!(t.old_phase, a % gamma);
+    }
+
+    /// Any decrease of the phase is a pass through zero and vice versa —
+    /// the clock never moves backwards.
+    #[test]
+    fn decrease_iff_pass(
+        gamma in arb_gamma(),
+        a in 0u16..128,
+        b in 0u16..128,
+        junta in any::<bool>(),
+    ) {
+        let c = Clock::new(gamma);
+        let t = c.update(junta, a % gamma, b % gamma);
+        if t.passed_zero {
+            prop_assert!(t.phase < t.old_phase);
+            // ... by more than half the circle (a genuine wrap).
+            prop_assert!(t.old_phase - t.phase > gamma / 2);
+        } else if t.phase < t.old_phase {
+            // A small decrease without wrap must be impossible.
+            prop_assert!(false, "phase moved backwards without a pass: {:?}", t);
+        }
+    }
+
+    /// Followers adopting each other's phases converge: applying the
+    /// follower update twice in both directions lands both agents on the
+    /// same phase.
+    #[test]
+    fn follower_updates_converge(gamma in arb_gamma(), a in 0u16..128, b in 0u16..128) {
+        let c = Clock::new(gamma);
+        let (x, y) = (a % gamma, b % gamma);
+        let tx = c.update(false, x, y);
+        let ty = c.update(false, y, x);
+        prop_assert_eq!(tx.phase, ty.phase);
+    }
+
+    /// The early/late gates are mutually exclusive and never fire on a
+    /// pass.
+    #[test]
+    fn gates_are_exclusive(
+        gamma in arb_gamma(),
+        a in 0u16..128,
+        b in 0u16..128,
+        junta in any::<bool>(),
+    ) {
+        let c = Clock::new(gamma);
+        let t = c.update(junta, a % gamma, b % gamma);
+        prop_assert!(!(c.is_early(t) && c.is_late(t)));
+        if t.passed_zero {
+            prop_assert!(!c.is_early(t) && !c.is_late(t));
+        }
+    }
+}

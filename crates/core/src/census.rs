@@ -1,0 +1,168 @@
+//! Configuration census: aggregate observables used by the experiments
+//! (figure trajectories, lemma validations). Computed from any simulator
+//! via [`ppsim::Simulator::for_each_state`]; O(population) on `AgentSim`,
+//! O(states) on `UrnSim`.
+
+use ppsim::Simulator;
+
+use crate::params::Params;
+use crate::state::{AgentState, LeaderMode, Role};
+
+/// Aggregate counts of one configuration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Census {
+    /// Agents still in state `0`.
+    pub zero: u64,
+    /// Agents in the intermediate state `X`.
+    pub x: u64,
+    /// Deactivated agents.
+    pub d: u64,
+    /// Coins at exactly level ℓ (index ℓ).
+    pub coin_levels: Vec<u64>,
+    /// Coins still advancing in the race.
+    pub coins_advancing: u64,
+    /// Inhibitors at exactly drag ℓ (index ℓ).
+    pub inhibitor_drags: Vec<u64>,
+    /// High inhibitors at exactly drag ℓ (index ℓ).
+    pub inhibitor_high: Vec<u64>,
+    /// Inhibitors still determining their drag.
+    pub inhibitors_advancing: u64,
+    /// Active leader candidates (mode `A`).
+    pub active: u64,
+    /// Passive candidates (mode `P`).
+    pub passive: u64,
+    /// Withdrawn candidates (mode `W`).
+    pub withdrawn: u64,
+    /// Largest drag among alive candidates, if any.
+    pub max_alive_drag: Option<u8>,
+    /// Largest drag among *active* candidates, if any (drives the
+    /// Figure 3 / Lemma 7.2 tick-gap measurements: only actives can earn
+    /// new drag values through rule (10)).
+    pub max_active_drag: Option<u8>,
+    /// Largest fast-elimination counter among leaders (tracks the round the
+    /// leaders believe they are in), if any.
+    pub max_cnt: Option<u8>,
+}
+
+impl Census {
+    /// Take a census of the current configuration.
+    pub fn of<S: Simulator<State = AgentState>>(sim: &S, params: &Params) -> Self {
+        let mut c = Census {
+            coin_levels: vec![0; params.phi as usize + 1],
+            inhibitor_drags: vec![0; params.psi as usize + 1],
+            inhibitor_high: vec![0; params.psi as usize + 1],
+            ..Census::default()
+        };
+        sim.for_each_state(&mut |s, k| match s.role {
+            Role::Zero => c.zero += k,
+            Role::X => c.x += k,
+            Role::D => c.d += k,
+            Role::C { level, advancing } => {
+                c.coin_levels[level as usize] += k;
+                if advancing {
+                    c.coins_advancing += k;
+                }
+            }
+            Role::I {
+                drag,
+                advancing,
+                high,
+                ..
+            } => {
+                c.inhibitor_drags[drag as usize] += k;
+                if high {
+                    c.inhibitor_high[drag as usize] += k;
+                }
+                if advancing {
+                    c.inhibitors_advancing += k;
+                }
+            }
+            Role::L { mode, cnt, drag, .. } => {
+                match mode {
+                    LeaderMode::A => c.active += k,
+                    LeaderMode::P => c.passive += k,
+                    LeaderMode::W => c.withdrawn += k,
+                }
+                if mode != LeaderMode::W {
+                    c.max_alive_drag = Some(c.max_alive_drag.map_or(drag, |m| m.max(drag)));
+                }
+                if mode == LeaderMode::A {
+                    c.max_active_drag = Some(c.max_active_drag.map_or(drag, |m| m.max(drag)));
+                }
+                c.max_cnt = Some(c.max_cnt.map_or(cnt, |m| m.max(cnt)));
+            }
+        });
+        c
+    }
+
+    /// Total coins (any level).
+    pub fn coins(&self) -> u64 {
+        self.coin_levels.iter().sum()
+    }
+
+    /// Total inhibitors (any drag).
+    pub fn inhibitors(&self) -> u64 {
+        self.inhibitor_drags.iter().sum()
+    }
+
+    /// Total leader candidates, alive or withdrawn.
+    pub fn leaders(&self) -> u64 {
+        self.active + self.passive + self.withdrawn
+    }
+
+    /// Alive candidates (mapped to the leader output).
+    pub fn alive(&self) -> u64 {
+        self.active + self.passive
+    }
+
+    /// Coins at level ≥ ℓ — the paper's `C_ℓ` (Section 5).
+    pub fn coins_at_least(&self, level: u8) -> u64 {
+        self.coin_levels
+            .iter()
+            .skip(level as usize)
+            .sum()
+    }
+
+    /// Agents not yet committed to a role.
+    pub fn uninitialised(&self) -> u64 {
+        self.zero + self.x
+    }
+
+    /// Total population accounted for (sanity checks).
+    pub fn total(&self) -> u64 {
+        self.zero + self.x + self.d + self.coins() + self.inhibitors() + self.leaders()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Gsu19;
+    use ppsim::AgentSim;
+
+    #[test]
+    fn census_of_initial_configuration() {
+        let proto = Gsu19::for_population(1 << 10);
+        let params = *proto.params();
+        let sim = AgentSim::new(proto, 1 << 10, 1);
+        let c = Census::of(&sim, &params);
+        assert_eq!(c.zero, 1 << 10);
+        assert_eq!(c.total(), 1 << 10);
+        assert_eq!(c.alive(), 0);
+        assert_eq!(c.max_alive_drag, None);
+    }
+
+    #[test]
+    fn census_conserves_population_during_run() {
+        use ppsim::Simulator;
+        let n = 1u64 << 10;
+        let proto = Gsu19::for_population(n);
+        let params = *proto.params();
+        let mut sim = AgentSim::new(proto, n as usize, 3);
+        for _ in 0..20 {
+            sim.steps(n);
+            let c = Census::of(&sim, &params);
+            assert_eq!(c.total(), n);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The coin sub-population `C` (Section 5).
+//!
+//! Coins run the level race of [`components::junta`] against each other;
+//! every non-coin stops them. Level-Φ coins are the junta that drives the
+//! phase clock, and level ℓ doubles as an asymmetric coin: a leader reading
+//! "is the initiator a coin at level ≥ ℓ?" flips heads with probability
+//! `C_ℓ/n` (Figure 1).
+
+use components::junta::{LevelRace, Opponent};
+
+use crate::state::Role;
+
+/// Responder update of a coin's `(level, advancing)` pair.
+pub fn update_responder(
+    race: &LevelRace,
+    level: u8,
+    advancing: bool,
+    initiator: &Role,
+) -> (u8, bool) {
+    let opponent = match initiator {
+        Role::C { level, .. } => Opponent::Racer(*level),
+        _ => Opponent::Outsider,
+    };
+    race.update(level, advancing, opponent)
+}
+
+/// The level-ℓ coin read: heads iff the initiator is a coin at level ≥ ℓ
+/// (rules (4)/(5), Section 6).
+pub fn read_coin(initiator: &Role, level: u8) -> bool {
+    matches!(initiator, Role::C { level: l, .. } if *l >= level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn race() -> LevelRace {
+        LevelRace::new(2)
+    }
+
+    #[test]
+    fn coin_advances_on_equal_or_higher_coin() {
+        let r = race();
+        let peer = Role::C {
+            level: 1,
+            advancing: false,
+        };
+        assert_eq!(update_responder(&r, 1, true, &peer), (2, true));
+        let higher = Role::C {
+            level: 2,
+            advancing: true,
+        };
+        assert_eq!(update_responder(&r, 0, true, &higher), (1, true));
+    }
+
+    #[test]
+    fn coin_stops_on_lower_coin() {
+        let r = race();
+        let lower = Role::C {
+            level: 0,
+            advancing: true,
+        };
+        assert_eq!(update_responder(&r, 1, true, &lower), (1, false));
+    }
+
+    #[test]
+    fn coin_stops_on_non_coin() {
+        let r = race();
+        for outsider in [Role::Zero, Role::X, Role::D] {
+            assert_eq!(update_responder(&r, 1, true, &outsider), (1, false));
+        }
+    }
+
+    #[test]
+    fn stopped_coin_is_inert() {
+        let r = race();
+        let peer = Role::C {
+            level: 2,
+            advancing: true,
+        };
+        assert_eq!(update_responder(&r, 1, false, &peer), (1, false));
+    }
+
+    #[test]
+    fn capped_coin_keeps_level() {
+        let r = race();
+        let peer = Role::C {
+            level: 2,
+            advancing: true,
+        };
+        assert_eq!(update_responder(&r, 2, true, &peer), (2, true));
+    }
+
+    #[test]
+    fn read_coin_thresholds() {
+        let c1 = Role::C {
+            level: 1,
+            advancing: false,
+        };
+        assert!(read_coin(&c1, 0));
+        assert!(read_coin(&c1, 1));
+        assert!(!read_coin(&c1, 2));
+        assert!(!read_coin(&Role::D, 0));
+        assert!(!read_coin(&Role::Zero, 0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Initialisation epoch: the symmetry-breaking partition rules (1) and the
+//! straggler deactivation rule (2) of Section 4.
+//!
+//! All agents start in state `0`. Two cascaded pair rules split the
+//! population into the three working sub-populations:
+//!
+//! ```text
+//! 0 + 0 → X + L        (≈ n/2 leader candidates)
+//! X + X → C + I        (≈ n/4 coins, ≈ n/4 inhibitors)
+//! ```
+//!
+//! Whatever is still `0` or `X` when its own clock first passes zero
+//! deactivates into `D` (rule (2)), freezing the sub-population sizes; by
+//! Lemma 4.1 only `O(n / log n)` agents end up deactivated whp.
+
+use crate::params::Params;
+use crate::state::{AgentState, Role};
+
+/// Result of applying the partition rules to a (responder, initiator) role
+/// pair, if any applies.
+pub fn partition(params: &Params, responder: &Role, initiator: &Role) -> Option<(Role, Role)> {
+    match (responder, initiator) {
+        (Role::Zero, Role::Zero) => Some((
+            Role::X,
+            AgentState::fresh_leader(params, 0).role,
+        )),
+        (Role::X, Role::X) => Some((
+            AgentState::fresh_coin(0).role,
+            AgentState::fresh_inhibitor(0).role,
+        )),
+        _ => None,
+    }
+}
+
+/// Rule (2): whether the responder deactivates at its own pass through
+/// zero.
+pub fn deactivates_on_pass(role: &Role) -> bool {
+    matches!(role, Role::Zero | Role::X)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::LeaderMode;
+
+    fn params() -> Params {
+        Params::for_population(1 << 12)
+    }
+
+    #[test]
+    fn zero_pair_splits_into_x_and_leader() {
+        let p = params();
+        let (r, i) = partition(&p, &Role::Zero, &Role::Zero).unwrap();
+        assert_eq!(r, Role::X);
+        assert!(matches!(
+            i,
+            Role::L {
+                mode: LeaderMode::A,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn x_pair_splits_into_coin_and_inhibitor() {
+        let p = params();
+        let (r, i) = partition(&p, &Role::X, &Role::X).unwrap();
+        assert!(matches!(
+            r,
+            Role::C {
+                level: 0,
+                advancing: true
+            }
+        ));
+        assert!(matches!(
+            i,
+            Role::I {
+                drag: 0,
+                advancing: true,
+                high: false,
+                started: false
+            }
+        ));
+    }
+
+    #[test]
+    fn mixed_pairs_do_not_partition() {
+        let p = params();
+        assert!(partition(&p, &Role::Zero, &Role::X).is_none());
+        assert!(partition(&p, &Role::X, &Role::Zero).is_none());
+        assert!(partition(&p, &Role::Zero, &Role::D).is_none());
+        assert!(partition(&p, &Role::D, &Role::D).is_none());
+        let leader = AgentState::fresh_leader(&p, 0).role;
+        assert!(partition(&p, &Role::Zero, &leader).is_none());
+    }
+
+    #[test]
+    fn only_pre_roles_deactivate() {
+        let p = params();
+        assert!(deactivates_on_pass(&Role::Zero));
+        assert!(deactivates_on_pass(&Role::X));
+        assert!(!deactivates_on_pass(&Role::D));
+        assert!(!deactivates_on_pass(&AgentState::fresh_coin(0).role));
+        assert!(!deactivates_on_pass(&AgentState::fresh_inhibitor(0).role));
+        assert!(!deactivates_on_pass(&AgentState::fresh_leader(&p, 0).role));
+    }
+}

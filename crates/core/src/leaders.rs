@@ -1,0 +1,572 @@
+//! The leader candidate sub-population `L` (Sections 6–8).
+//!
+//! Per clock round, an **active** candidate:
+//!
+//! 1. resets at its pass through zero (rule (3)): `cnt` decrements (the
+//!    fast-elimination countdown), the flip record clears, `void` returns to
+//!    true;
+//! 2. flips the round's coin on its first early-half interaction (rules
+//!    (4)/(5)): heads iff the initiator is a coin at level ≥ γ(cnt) — the
+//!    biased-coin cascade of Figure 2 during fast elimination, the level-0
+//!    coin (p ≈ ¼) in the final epoch;
+//! 3. in the late half-round, learns by one-way epidemic whether anyone
+//!    drew heads (rules (6)/(7)); a tails-drawer that hears of heads turns
+//!    **passive**.
+//!
+//! The final epoch adds the `drag` machinery: active heads-drawers advance
+//! their drag on meeting a high inhibitor of the same drag (rule (10)), and
+//! any candidate strictly behind in drag withdraws, adopting the larger
+//! value (rule (9)) — the safe passive→withdrawn conversion that buys the
+//! `O(log n log log n)` expected bound.
+//!
+//! The slow backup (rule (11)) runs throughout: when two alive candidates
+//! meet, the junior (by the seniority order of Section 8) withdraws.
+
+use components::clock::{Clock, ClockTick};
+
+use crate::coins::read_coin;
+use crate::params::Params;
+use crate::state::{seniority_key, Flip, LeaderMode, Role};
+
+/// The mutable fields of a leader candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderFields {
+    /// Candidate mode (`A`/`P`/`W`).
+    pub mode: LeaderMode,
+    /// Fast-elimination countdown.
+    pub cnt: u8,
+    /// This round's coin flip.
+    pub flip: Flip,
+    /// "No heads heard this round."
+    pub void: bool,
+    /// Drag counter value.
+    pub drag: u8,
+}
+
+impl LeaderFields {
+    /// Extract from a role; `None` when the role is not a leader.
+    pub fn of(role: &Role) -> Option<Self> {
+        match role {
+            Role::L {
+                mode,
+                cnt,
+                flip,
+                void,
+                drag,
+            } => Some(Self {
+                mode: *mode,
+                cnt: *cnt,
+                flip: *flip,
+                void: *void,
+                drag: *drag,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Pack back into a role.
+    pub fn into_role(self) -> Role {
+        Role::L {
+            mode: self.mode,
+            cnt: self.cnt,
+            flip: self.flip,
+            void: self.void,
+            drag: self.drag,
+        }
+    }
+
+    /// Alive = still mapped to the leader output.
+    pub fn is_alive(&self) -> bool {
+        matches!(self.mode, LeaderMode::A | LeaderMode::P)
+    }
+}
+
+/// Responder update of a leader candidate (rules (3)–(10) of the paper;
+/// rule (11) touches both agents and lives in [`backup_duel`]).
+pub fn update_responder(
+    params: &Params,
+    clock: &Clock,
+    tick: ClockTick,
+    mut f: LeaderFields,
+    initiator: &Role,
+) -> LeaderFields {
+    // (3) + the final-epoch reset: round boundary.
+    if tick.passed_zero {
+        if f.cnt >= 1 {
+            f.cnt -= 1;
+        }
+        f.flip = Flip::None;
+        f.void = true;
+    }
+
+    // (4)/(5): the round's coin flip, first early-half interaction.
+    if f.mode == LeaderMode::A && f.flip == Flip::None && clock.is_early(tick) {
+        if let Some(level) = params.coin_for_cnt(f.cnt) {
+            if read_coin(initiator, level) {
+                f.flip = Flip::Heads;
+                f.void = false;
+            } else {
+                f.flip = Flip::Tails;
+            }
+        }
+    }
+
+    // (6)/(7): late-half heads broadcast; tails-drawers that hear of heads
+    // turn passive.
+    if clock.is_late(tick) && f.void {
+        if let Role::L { void: false, .. } = initiator {
+            f.void = false;
+            if f.mode == LeaderMode::A && f.flip == Flip::Tails {
+                f.mode = if params.direct_withdrawal {
+                    LeaderMode::W
+                } else {
+                    LeaderMode::P
+                };
+            }
+        }
+    }
+
+    // (9): any candidate strictly behind in drag withdraws and adopts the
+    // larger value (withdrawn candidates keep relaying it).
+    if let Role::L { drag: y, .. } = initiator {
+        if *y > f.drag {
+            f.drag = *y;
+            f.mode = LeaderMode::W;
+        }
+    }
+
+    // (10): active heads-drawer advances its drag on a high inhibitor of
+    // equal drag (final epoch only).
+    if params.enable_drag
+        && f.mode == LeaderMode::A
+        && f.flip == Flip::Heads
+        && f.cnt == 0
+        && f.drag < params.psi
+    {
+        if let Role::I {
+            drag, high: true, ..
+        } = initiator
+        {
+            if *drag == f.drag {
+                f.drag += 1;
+            }
+        }
+    }
+
+    f
+}
+
+/// Rule (11), the seniority-ordered slow backup: both agents are alive
+/// leader candidates; the junior withdraws (adopting the senior's drag,
+/// which subsumes rule (9) for this pair). On a full tie the responder
+/// survives — the ordered-pair scheduler makes this admissible.
+///
+/// Returns the updated `(responder, initiator)` fields.
+pub fn backup_duel(
+    params: &Params,
+    mut r: LeaderFields,
+    mut i: LeaderFields,
+) -> (LeaderFields, LeaderFields) {
+    debug_assert!(r.is_alive() && i.is_alive());
+    let rk = seniority_key(r.mode, r.cnt, r.flip, r.drag, params);
+    let ik = seniority_key(i.mode, i.cnt, i.flip, i.drag, params);
+    let max_drag = r.drag.max(i.drag);
+    if rk >= ik {
+        i.mode = LeaderMode::W;
+        i.drag = max_drag;
+    } else {
+        r.mode = LeaderMode::W;
+        r.drag = max_drag;
+    }
+    (r, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::for_population(1 << 12)
+    }
+
+    fn clock(p: &Params) -> Clock {
+        Clock::new(p.gamma)
+    }
+
+    fn active(params: &Params) -> LeaderFields {
+        LeaderFields {
+            mode: LeaderMode::A,
+            cnt: params.cnt_init(),
+            flip: Flip::None,
+            void: true,
+            drag: 0,
+        }
+    }
+
+    fn early_tick(c: &Clock) -> ClockTick {
+        let t = c.update(false, 1, 2);
+        assert!(c.is_early(t));
+        t
+    }
+
+    fn late_tick(c: &Clock) -> ClockTick {
+        let g = c.gamma();
+        let t = c.update(false, g - 4, g - 3);
+        assert!(c.is_late(t));
+        t
+    }
+
+    fn pass_tick(c: &Clock) -> ClockTick {
+        let t = c.update(false, c.gamma() - 1, 1);
+        assert!(t.passed_zero);
+        t
+    }
+
+    fn coin(level: u8) -> Role {
+        Role::C {
+            level,
+            advancing: false,
+        }
+    }
+
+    #[test]
+    fn reset_decrements_cnt_and_clears_round_state() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.flip = Flip::Heads;
+        f.void = false;
+        let f = update_responder(&p, &c, pass_tick(&c), f, &Role::D);
+        assert_eq!(f.cnt, p.cnt_init() - 1);
+        assert_eq!(f.flip, Flip::None);
+        assert!(f.void);
+    }
+
+    #[test]
+    fn reset_keeps_cnt_at_zero_in_final_epoch() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 0;
+        f.flip = Flip::Tails;
+        let f = update_responder(&p, &c, pass_tick(&c), f, &Role::D);
+        assert_eq!(f.cnt, 0);
+        assert_eq!(f.flip, Flip::None);
+        assert!(f.void);
+    }
+
+    #[test]
+    fn no_flip_in_idle_first_round() {
+        let p = params();
+        let c = clock(&p);
+        let f = active(&p); // cnt = 2Φ+3: idle
+        let f = update_responder(&p, &c, early_tick(&c), f, &coin(p.phi));
+        assert_eq!(f.flip, Flip::None);
+    }
+
+    #[test]
+    fn heads_on_high_enough_coin() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = p.cnt_init() - 1; // coin Φ round
+        let f = update_responder(&p, &c, early_tick(&c), f, &coin(p.phi));
+        assert_eq!(f.flip, Flip::Heads);
+        assert!(!f.void, "heads must mark the round non-void");
+    }
+
+    #[test]
+    fn tails_on_low_coin_or_non_coin() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = p.cnt_init() - 1; // coin Φ round; level-0 coin is too low
+        let f2 = update_responder(&p, &c, early_tick(&c), f, &coin(0));
+        assert_eq!(f2.flip, Flip::Tails);
+        assert!(f2.void);
+        let f3 = update_responder(&p, &c, early_tick(&c), f, &Role::D);
+        assert_eq!(f3.flip, Flip::Tails);
+    }
+
+    #[test]
+    fn flip_happens_once_per_round() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 1;
+        let f = update_responder(&p, &c, early_tick(&c), f, &Role::D);
+        assert_eq!(f.flip, Flip::Tails);
+        // Second early interaction with a winning coin must not re-flip.
+        let f = update_responder(&p, &c, early_tick(&c), f, &coin(p.phi));
+        assert_eq!(f.flip, Flip::Tails);
+    }
+
+    #[test]
+    fn passive_does_not_flip() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.mode = LeaderMode::P;
+        f.cnt = 1;
+        let f = update_responder(&p, &c, early_tick(&c), f, &coin(p.phi));
+        assert_eq!(f.flip, Flip::None);
+    }
+
+    #[test]
+    fn final_epoch_uses_level_zero_coin() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 0;
+        let f = update_responder(&p, &c, early_tick(&c), f, &coin(0));
+        assert_eq!(f.flip, Flip::Heads);
+    }
+
+    #[test]
+    fn tails_hearing_heads_turns_passive_in_late_half() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 1;
+        f.flip = Flip::Tails;
+        let informed = Role::L {
+            mode: LeaderMode::A,
+            cnt: 1,
+            flip: Flip::Heads,
+            void: false,
+            drag: 0,
+        };
+        let f = update_responder(&p, &c, late_tick(&c), f, &informed);
+        assert_eq!(f.mode, LeaderMode::P);
+        assert!(!f.void);
+    }
+
+    #[test]
+    fn tails_is_safe_while_round_is_void() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 1;
+        f.flip = Flip::Tails;
+        let uninformed = Role::L {
+            mode: LeaderMode::A,
+            cnt: 1,
+            flip: Flip::Tails,
+            void: true,
+            drag: 0,
+        };
+        let f = update_responder(&p, &c, late_tick(&c), f, &uninformed);
+        assert_eq!(f.mode, LeaderMode::A);
+        assert!(f.void);
+    }
+
+    #[test]
+    fn heads_never_passivated_by_broadcast() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 1;
+        f.flip = Flip::Heads;
+        f.void = false;
+        let informed = Role::L {
+            mode: LeaderMode::P,
+            cnt: 1,
+            flip: Flip::Tails,
+            void: false,
+            drag: 0,
+        };
+        let f = update_responder(&p, &c, late_tick(&c), f, &informed);
+        assert_eq!(f.mode, LeaderMode::A);
+    }
+
+    #[test]
+    fn early_half_does_not_spread_void() {
+        // The late-gating is the protection against stale cross-round heads
+        // information (see module docs in `clock`).
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 1;
+        f.flip = Flip::Tails;
+        let informed = Role::L {
+            mode: LeaderMode::A,
+            cnt: 1,
+            flip: Flip::Heads,
+            void: false,
+            drag: 0,
+        };
+        let f = update_responder(&p, &c, early_tick(&c), f, &informed);
+        assert_eq!(f.mode, LeaderMode::A);
+        assert!(f.void);
+    }
+
+    #[test]
+    fn rule9_withdraws_lower_drag_candidate() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 0;
+        f.drag = 1;
+        let ahead = Role::L {
+            mode: LeaderMode::W,
+            cnt: 0,
+            flip: Flip::None,
+            void: true,
+            drag: 3,
+        };
+        let f = update_responder(&p, &c, early_tick(&c), f, &ahead);
+        assert_eq!(f.mode, LeaderMode::W);
+        assert_eq!(f.drag, 3);
+    }
+
+    #[test]
+    fn rule9_ignores_equal_drag() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 0;
+        f.drag = 2;
+        let peer = Role::L {
+            mode: LeaderMode::P,
+            cnt: 0,
+            flip: Flip::None,
+            void: true,
+            drag: 2,
+        };
+        let f = update_responder(&p, &c, early_tick(&c), f, &peer);
+        assert_eq!(f.mode, LeaderMode::A);
+    }
+
+    #[test]
+    fn rule10_advances_drag_on_high_inhibitor() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 0;
+        f.flip = Flip::Heads;
+        f.drag = 1;
+        let hi = Role::I {
+            drag: 1,
+            advancing: false,
+            high: true,
+            started: true,
+        };
+        let f2 = update_responder(&p, &c, early_tick(&c), f, &hi);
+        assert_eq!(f2.drag, 2);
+        assert_eq!(f2.mode, LeaderMode::A);
+        // Wrong drag: no advance.
+        let lo = Role::I {
+            drag: 0,
+            advancing: false,
+            high: true,
+            started: true,
+        };
+        let f3 = update_responder(&p, &c, early_tick(&c), f, &lo);
+        assert_eq!(f3.drag, 1);
+    }
+
+    #[test]
+    fn rule10_requires_heads_and_final_epoch() {
+        let p = params();
+        let c = clock(&p);
+        let hi = Role::I {
+            drag: 0,
+            advancing: false,
+            high: true,
+            started: true,
+        };
+        // Tails: no.
+        let mut f = active(&p);
+        f.cnt = 0;
+        f.flip = Flip::Tails;
+        assert_eq!(update_responder(&p, &c, early_tick(&c), f, &hi).drag, 0);
+        // Fast-elimination epoch: no.
+        let mut f = active(&p);
+        f.cnt = 2;
+        f.flip = Flip::Heads;
+        assert_eq!(update_responder(&p, &c, early_tick(&c), f, &hi).drag, 0);
+    }
+
+    #[test]
+    fn rule10_caps_at_psi() {
+        let p = params();
+        let c = clock(&p);
+        let mut f = active(&p);
+        f.cnt = 0;
+        f.flip = Flip::Heads;
+        f.drag = p.psi;
+        let hi = Role::I {
+            drag: p.psi,
+            advancing: false,
+            high: true,
+            started: true,
+        };
+        let f = update_responder(&p, &c, early_tick(&c), f, &hi);
+        assert_eq!(f.drag, p.psi);
+    }
+
+    #[test]
+    fn backup_junior_withdraws() {
+        let p = params();
+        let mut senior = active(&p);
+        senior.drag = 2;
+        senior.cnt = 0;
+        let mut junior = active(&p);
+        junior.drag = 1;
+        junior.cnt = 0;
+        let (r, i) = backup_duel(&p, junior, senior);
+        assert_eq!(r.mode, LeaderMode::W);
+        assert_eq!(r.drag, 2, "junior adopts the senior's drag");
+        assert_eq!(i.mode, LeaderMode::A);
+    }
+
+    #[test]
+    fn backup_tie_favours_responder() {
+        let p = params();
+        let a = active(&p);
+        let (r, i) = backup_duel(&p, a, a);
+        assert_eq!(r.mode, LeaderMode::A);
+        assert_eq!(i.mode, LeaderMode::W);
+    }
+
+    #[test]
+    fn backup_active_beats_passive() {
+        let p = params();
+        let mut pa = active(&p);
+        pa.mode = LeaderMode::P;
+        let a = active(&p);
+        let (r, i) = backup_duel(&p, pa, a);
+        assert_eq!(r.mode, LeaderMode::W);
+        assert_eq!(i.mode, LeaderMode::A);
+    }
+
+    #[test]
+    fn exactly_one_withdraws_in_any_duel() {
+        let p = params();
+        let flips = [Flip::None, Flip::Heads, Flip::Tails];
+        let modes = [LeaderMode::A, LeaderMode::P];
+        for &m1 in &modes {
+            for &m2 in &modes {
+                for &f1 in &flips {
+                    for &f2 in &flips {
+                        for d1 in 0..=2u8 {
+                            for d2 in 0..=2u8 {
+                                let mut a = active(&p);
+                                a.mode = m1;
+                                a.flip = f1;
+                                a.drag = d1;
+                                let mut b = active(&p);
+                                b.mode = m2;
+                                b.flip = f2;
+                                b.drag = d2;
+                                let (r, i) = backup_duel(&p, a, b);
+                                let survivors = r.is_alive() as u8 + i.is_alive() as u8;
+                                assert_eq!(survivors, 1, "{a:?} vs {b:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # core-protocol — the GSU19 leader-election protocol
+//!
+//! Full implementation of *"Almost logarithmic-time space optimal leader
+//! election in population protocols"* (Gąsieniec, Stachowiak, Uznański;
+//! SPAA 2019): `O(log n · log log n)` expected parallel time with
+//! `O(log log n)` states per agent, always correct (Las Vegas).
+//!
+//! The protocol runs in three epochs over a junta-driven phase clock:
+//!
+//! 1. **Initialisation** ([`init`]): partition into leaders `L` (≈ n/2),
+//!    coins `C` (≈ n/4) and inhibitors `I` (≈ n/4); coins run a level race
+//!    ([`coins`]) whose top level forms the clock junta and whose levels
+//!    double as asymmetric coins.
+//! 2. **Fast elimination** ([`leaders`]): active candidates flip the biased
+//!    coin cascade `γ = [1,1,…,Φ,Φ,Φ,Φ]`, one coin per Θ(log n)-time round,
+//!    heads survive and broadcast; O(log n) actives remain after
+//!    O(log n · log log n) time whp.
+//! 3. **Final elimination** ([`leaders`], [`inhibitors`]): fair-ish level-0
+//!    coins finish the job in O(log log n) expected rounds, while the
+//!    `drag` counter — ticking at exponentially slowing rate thanks to the
+//!    inhibitor subgroups — safely converts eliminated-but-alive passives
+//!    into followers without ever risking total elimination.
+//!
+//! A seniority-ordered slow backup (Section 8) runs throughout and
+//! guarantees a unique leader even if the clock desynchronises.
+//!
+//! ```
+//! use core_protocol::Gsu19;
+//! use ppsim::{AgentSim, run_until_stable, Simulator};
+//!
+//! let n = 512;
+//! let mut sim = AgentSim::new(Gsu19::for_population(n as u64), n, 42);
+//! let result = run_until_stable(&mut sim, 50_000 * n as u64);
+//! assert!(result.converged);
+//! assert_eq!(sim.leaders(), 1);
+//! ```
+
+pub mod census;
+pub mod coins;
+pub mod inhibitors;
+pub mod init;
+pub mod leaders;
+pub mod params;
+pub mod protocol;
+pub mod state;
+pub mod synthetic;
+
+pub use census::Census;
+pub use params::{gamma_for, psi_for, Params};
+pub use protocol::Gsu19;
+pub use state::{AgentState, Flip, LeaderMode, Role, StateCodec};

@@ -1,0 +1,92 @@
+//! # ppsim — population-protocol simulation engine
+//!
+//! This crate is the substrate for reproducing *"Almost logarithmic-time space
+//! optimal leader election in population protocols"* (Gąsieniec, Stachowiak,
+//! Uznański; SPAA 2019). It implements the classical probabilistic population
+//! model of Angluin et al. [AAD+04]:
+//!
+//! * `n` identical agents, each holding a state drawn from a finite set;
+//! * a **random scheduler** that repeatedly selects an *ordered* pair
+//!   `(responder, initiator)` uniformly at random among the `n(n-1)` ordered
+//!   pairs of distinct agents;
+//! * a deterministic transition function
+//!   `δ(responder, initiator) → (responder', initiator')` applied to the pair.
+//!
+//! **Parallel time** is the number of interactions divided by `n`; it matches
+//! the notion used throughout the paper.
+//!
+//! ## Simulators
+//!
+//! Two interchangeable simulators implement [`Simulator`]:
+//!
+//! * [`AgentSim`] keeps an explicit `Vec` of agent states. O(1) per
+//!   interaction, O(n) memory. This is the workhorse for populations up to a
+//!   few tens of millions.
+//! * [`UrnSim`] keeps only a count per *state* (the population is an urn of
+//!   indistinguishable balls — valid because agents are anonymous). Sampling
+//!   uses a Fenwick tree, O(log |states|) per interaction, O(|states|)
+//!   memory, enabling populations bounded only by `u64`.
+//!
+//! Both produce statistically identical processes; the integration test suite
+//! checks this by comparing convergence-time distributions.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ppsim::prelude::*;
+//!
+//! /// The 2-state slow leader-election protocol of [AAD+04]:
+//! /// leader + leader -> leader + follower.
+//! struct Slow;
+//! impl Protocol for Slow {
+//!     type State = bool; // true = leader candidate
+//!     fn initial_state(&self) -> bool { true }
+//!     fn transition(&self, r: bool, i: bool) -> (bool, bool) {
+//!         if r && i { (true, false) } else { (r, i) }
+//!     }
+//!     fn output(&self, s: bool) -> Output {
+//!         if s { Output::Leader } else { Output::Follower }
+//!     }
+//! }
+//!
+//! let mut sim = AgentSim::new(Slow, 100, 42);
+//! let result = run_until_stable(&mut sim, 1_000_000);
+//! assert!(result.converged);
+//! assert_eq!(sim.output_counts()[Output::Leader as usize], 1);
+//! ```
+
+pub mod adversary;
+pub mod agent_sim;
+pub mod fenwick;
+pub mod parallel;
+pub mod protocol;
+pub mod rng;
+pub mod runner;
+pub mod stats;
+pub mod table;
+pub mod trace;
+pub mod urn;
+
+pub use adversary::{AdversarialSim, Blackout, Perturbation, Throttle};
+pub use agent_sim::AgentSim;
+pub use fenwick::Fenwick;
+pub use parallel::{run_trials, run_trials_threads};
+pub use protocol::{EnumerableProtocol, Output, Protocol, Simulator};
+pub use rng::{split_seed, trial_seeds};
+pub use runner::{run_until, run_until_stable, sample_every, RunResult};
+pub use stats::{
+    bootstrap_mean_ci, geometric_mean, linear_fit, mean, mean_ci95, median, quantile, std_dev,
+    Histogram, Summary,
+};
+pub use trace::Series;
+pub use urn::UrnSim;
+
+/// Convenience prelude: `use ppsim::prelude::*;`.
+pub mod prelude {
+    pub use crate::agent_sim::AgentSim;
+    pub use crate::parallel::run_trials;
+    pub use crate::protocol::{EnumerableProtocol, Output, Protocol, Simulator};
+    pub use crate::runner::{run_until, run_until_stable, sample_every, RunResult};
+    pub use crate::stats::Summary;
+    pub use crate::urn::UrnSim;
+}

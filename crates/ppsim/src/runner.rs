@@ -1,0 +1,171 @@
+//! Drivers: run a simulation until stabilisation (or a budget), optionally
+//! sampling observables along the way.
+
+use crate::protocol::Simulator;
+
+/// Result of driving a simulation to a stopping condition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunResult {
+    /// Whether the stopping predicate fired within the budget.
+    pub converged: bool,
+    /// Interactions executed when the run stopped.
+    pub interactions: u64,
+    /// `interactions / n`.
+    pub parallel_time: f64,
+}
+
+/// Run until `pred(sim)` holds or `max_interactions` have been executed.
+///
+/// The predicate is evaluated after every interaction (the engines keep the
+/// relevant counters incrementally, so this is O(1) per step).
+pub fn run_until<S: Simulator>(
+    sim: &mut S,
+    max_interactions: u64,
+    mut pred: impl FnMut(&S) -> bool,
+) -> RunResult {
+    let start = sim.interactions();
+    let budget = start.saturating_add(max_interactions);
+    loop {
+        if pred(sim) {
+            return RunResult {
+                converged: true,
+                interactions: sim.interactions(),
+                parallel_time: sim.parallel_time(),
+            };
+        }
+        if sim.interactions() >= budget {
+            return RunResult {
+                converged: false,
+                interactions: sim.interactions(),
+                parallel_time: sim.parallel_time(),
+            };
+        }
+        sim.step();
+    }
+}
+
+/// Run until the configuration is stably elected (exactly one leader, no
+/// undecided agents) or the interaction budget is exhausted.
+///
+/// For every protocol in this repository the set of alive leader candidates
+/// is non-increasing once roles have settled, so the first time the predicate
+/// holds is the stabilisation time (see `Simulator::is_stably_elected`).
+pub fn run_until_stable<S: Simulator>(sim: &mut S, max_interactions: u64) -> RunResult {
+    run_until(sim, max_interactions, |s| s.is_stably_elected())
+}
+
+/// Run for exactly `total_interactions`, invoking `observe` every
+/// `every_interactions` (and once at the start and once at the end).
+///
+/// Returns the number of observations made. Used by the figure benches to
+/// record trajectories such as "active leader candidates per round".
+pub fn sample_every<S: Simulator>(
+    sim: &mut S,
+    total_interactions: u64,
+    every_interactions: u64,
+    mut observe: impl FnMut(&S),
+) -> usize {
+    assert!(every_interactions > 0, "sampling interval must be positive");
+    let mut samples = 0;
+    observe(sim);
+    samples += 1;
+    let mut next = sim.interactions() + every_interactions;
+    let end = sim.interactions() + total_interactions;
+    while sim.interactions() < end {
+        let chunk = (next.min(end)) - sim.interactions();
+        sim.steps(chunk);
+        observe(sim);
+        samples += 1;
+        next += every_interactions;
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent_sim::AgentSim;
+    use crate::protocol::{Output, Protocol};
+
+    struct Slow;
+    impl Protocol for Slow {
+        type State = bool;
+        fn initial_state(&self) -> bool {
+            true
+        }
+        fn transition(&self, r: bool, i: bool) -> (bool, bool) {
+            if r && i {
+                (true, false)
+            } else {
+                (r, i)
+            }
+        }
+        fn output(&self, s: bool) -> Output {
+            if s {
+                Output::Leader
+            } else {
+                Output::Follower
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let mut sim = AgentSim::new(Slow, 1000, 1);
+        let res = run_until_stable(&mut sim, 10);
+        assert!(!res.converged);
+        assert_eq!(res.interactions, 10);
+    }
+
+    #[test]
+    fn immediate_predicate_stops_at_zero() {
+        let mut sim = AgentSim::new(Slow, 10, 1);
+        let res = run_until(&mut sim, 100, |_| true);
+        assert!(res.converged);
+        assert_eq!(res.interactions, 0);
+    }
+
+    #[test]
+    fn convergence_time_is_first_hit() {
+        let mut sim = AgentSim::new(Slow, 32, 5);
+        let res = run_until_stable(&mut sim, 1_000_000);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+        // Re-running with the same budget cannot un-converge.
+        let res2 = run_until_stable(&mut sim, 1_000);
+        assert!(res2.converged);
+        assert_eq!(res2.interactions, res.interactions);
+    }
+
+    #[test]
+    fn sample_every_counts_observations() {
+        let mut sim = AgentSim::new(Slow, 16, 2);
+        let mut seen = Vec::new();
+        let k = sample_every(&mut sim, 100, 10, |s| seen.push(s.interactions()));
+        assert_eq!(k, 11); // t = 0, 10, ..., 100
+        assert_eq!(seen.first(), Some(&0));
+        assert_eq!(seen.last(), Some(&100));
+    }
+
+    #[test]
+    fn sample_every_with_non_dividing_interval() {
+        let mut sim = AgentSim::new(Slow, 16, 2);
+        let mut seen = Vec::new();
+        sample_every(&mut sim, 25, 10, |s| seen.push(s.interactions()));
+        assert_eq!(seen, vec![0, 10, 20, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let mut sim = AgentSim::new(Slow, 16, 2);
+        sample_every(&mut sim, 10, 0, |_| {});
+    }
+
+    #[test]
+    fn parallel_time_consistency() {
+        let mut sim = AgentSim::new(Slow, 100, 9);
+        let res = run_until_stable(&mut sim, 10_000_000);
+        assert!((res.parallel_time - res.interactions as f64 / 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,424 @@
+//! Small statistics toolkit for experiment post-processing: summary
+//! statistics, confidence intervals, quantiles and least-squares fits used to
+//! verify the paper's scaling laws.
+
+/// Arithmetic mean. Returns `NaN` on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation. Returns 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Mean together with the half-width of a normal-approximation 95% CI.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, f64::INFINITY);
+    }
+    (m, 1.96 * std_dev(xs) / (xs.len() as f64).sqrt())
+}
+
+/// Quantile with linear interpolation; `q` in `[0, 1]`.
+/// Returns `NaN` on an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q75: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Returns a NaN-filled summary on empty input.
+    pub fn of(xs: &[f64]) -> Self {
+        let (mean, ci95) = mean_ci95(xs);
+        Self {
+            n: xs.len(),
+            mean,
+            std: std_dev(xs),
+            ci95,
+            min: quantile(xs, 0.0),
+            q25: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q75: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3}±{:.3} med={:.3} [{:.3}, {:.3}]",
+            self.n, self.mean, self.ci95, self.median, self.min, self.max
+        )
+    }
+}
+
+/// Ordinary least squares fit `y ≈ slope·x + intercept`.
+///
+/// Returns `(slope, intercept, r²)`. Used to verify scaling laws, e.g. that
+/// convergence time against `log n · log log n` is linear with high `r²`.
+///
+/// # Panics
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched fit inputs");
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // r² via explained variance; degenerate syy (constant y) gives r² = 1
+    // when the fit is exact.
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        let mut ss_res = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let e = y - (slope * x + intercept);
+            ss_res += e * e;
+        }
+        1.0 - ss_res / syy
+    };
+    let _ = n;
+    (slope, intercept, r2)
+}
+
+/// Simple equal-width histogram over a sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Histogram with `bins` equal-width bins spanning the sample range.
+    /// Returns an empty histogram for an empty sample.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn of(xs: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        if xs.is_empty() {
+            return Self {
+                lo: 0.0,
+                width: 0.0,
+                counts: vec![0; bins],
+            };
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0u64; bins];
+        for &x in xs {
+            let b = (((x - lo) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        Self { lo, width, counts }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the fullest bin (the mode's bin).
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean: resample with
+/// replacement `resamples` times using a deterministic SplitMix64 stream
+/// seeded by `seed`, and return the `(lo, hi)` quantiles of the resampled
+/// means at confidence `1 − alpha`.
+///
+/// Convergence times of population protocols are skewed (heavy right
+/// tails), where the normal-approximation CI of [`mean_ci95`] undercovers;
+/// the bootstrap does not assume symmetry.
+pub fn bootstrap_mean_ci(xs: &[f64], resamples: usize, alpha: f64, seed: u64) -> (f64, f64) {
+    if xs.len() < 2 {
+        let m = mean(xs);
+        return (m, m);
+    }
+    let mut state = seed;
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..xs.len() {
+            let r = crate::rng::splitmix64(&mut state);
+            sum += xs[(r % xs.len() as u64) as usize];
+        }
+        means.push(sum / xs.len() as f64);
+    }
+    (
+        quantile(&means, alpha / 2.0),
+        quantile(&means, 1.0 - alpha / 2.0),
+    )
+}
+
+/// Geometric mean of strictly positive samples; `NaN` on empty input.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Base-2 logarithm of `n` as f64; convenience for scaling tables.
+pub fn log2(n: f64) -> f64 {
+    n.log2()
+}
+
+/// `log2(n) * log2(log2(n))` — the paper's headline time bound shape.
+pub fn log_loglog(n: f64) -> f64 {
+    let l = n.log2();
+    l * l.log2().max(1.0)
+}
+
+/// `log2(n)^2` — the GS18 baseline shape.
+pub fn log_squared(n: f64) -> f64 {
+    let l = n.log2();
+    l * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic example is sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[]), 0.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(mean(&[3.0]), 3.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        let (m, ci) = mean_ci95(&[3.0]);
+        assert_eq!(m, 3.0);
+        assert!(ci.is_infinite());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&a), median(&b));
+        assert_eq!(quantile(&a, 0.75), quantile(&b, 0.75));
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b + 7.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_r2_decreases_with_noise() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Deterministic "noise" that is uncorrelated with x.
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + if (x as u64) % 2 == 0 { 25.0 } else { -25.0 })
+            .collect();
+        let (a, _, r2) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 0.05);
+        assert!(r2 < 1.0 && r2 > 0.8);
+    }
+
+    #[test]
+    fn scaling_shapes() {
+        assert!((log2(1024.0) - 10.0).abs() < 1e-12);
+        assert!((log_squared(1024.0) - 100.0).abs() < 1e-12);
+        // log2(1024)=10, log2(10)≈3.32
+        assert!((log_loglog(1024.0) - 10.0 * 10.0f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn fit_rejects_mismatched_lengths() {
+        linear_fit(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn histogram_bins_and_totals() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let h = Histogram::of(&xs, 5);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts, vec![2, 2, 2, 2, 2]);
+        assert_eq!(h.lo, 0.0);
+    }
+
+    #[test]
+    fn histogram_max_value_lands_in_last_bin() {
+        let xs = [0.0, 10.0];
+        let h = Histogram::of(&xs, 4);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn histogram_of_empty_sample() {
+        let h = Histogram::of(&[], 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.counts.len(), 3);
+    }
+
+    #[test]
+    fn histogram_mode_bin() {
+        let xs = [1.0, 5.0, 5.1, 5.2, 9.0];
+        let h = Histogram::of(&xs, 4);
+        assert_eq!(h.mode_bin(), 2); // the 5.x cluster
+    }
+
+    #[test]
+    fn histogram_constant_sample() {
+        let xs = [3.0; 8];
+        let h = Histogram::of(&xs, 4);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.counts.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_mean_of_clean_sample() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let m = mean(&xs);
+        let (lo, hi) = bootstrap_mean_ci(&xs, 500, 0.05, 7);
+        assert!(lo <= m && m <= hi, "[{lo}, {hi}] vs {m}");
+        assert!(hi - lo < 1.5, "CI too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_per_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(
+            bootstrap_mean_ci(&xs, 200, 0.05, 3),
+            bootstrap_mean_ci(&xs, 200, 0.05, 3)
+        );
+        assert_ne!(
+            bootstrap_mean_ci(&xs, 200, 0.05, 3),
+            bootstrap_mean_ci(&xs, 200, 0.05, 4)
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_inputs() {
+        let (lo, hi) = bootstrap_mean_ci(&[5.0], 100, 0.05, 1);
+        assert_eq!((lo, hi), (5.0, 5.0));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+        // Geometric <= arithmetic.
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        assert!(geometric_mean(&xs) <= mean(&xs));
+    }
+}

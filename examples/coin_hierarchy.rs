@@ -1,0 +1,76 @@
+//! The biased-coin hierarchy (Section 5 / Figure 1): anonymous agents
+//! manufacture a family of coins with doubly-exponentially decreasing
+//! heads probability, then we *use* them — estimating each coin's bias
+//! empirically the same way the leader candidates do (responder reads
+//! "is the initiator a coin at level ≥ ℓ?").
+//!
+//! ```sh
+//! cargo run --release --example coin_hierarchy [n]
+//! ```
+
+use population_protocols::core::{Census, Gsu19};
+use population_protocols::ppsim::table::{fnum, Table};
+use population_protocols::ppsim::{AgentSim, Simulator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 14);
+
+    let protocol = Gsu19::for_population(n);
+    let params = *protocol.params();
+    let mut sim = AgentSim::new(protocol, n as usize, 99);
+
+    // Let the partition and the coin race settle.
+    let settle = (60.0 * (n as f64).log2()) as u64 * n;
+    sim.steps(settle);
+    let census = Census::of(&sim, &params);
+
+    println!(
+        "n = {n}: coin race settled after {:.0} parallel time\n",
+        sim.parallel_time()
+    );
+
+    // Estimate each coin's bias the way a leader candidate experiences it:
+    // sample a uniformly random agent and check its level.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let draws = 200_000;
+    let states = sim.states();
+    let mut heads = vec![0u64; params.phi as usize + 1];
+    for _ in 0..draws {
+        let partner = states[rng.gen_range(0..states.len())];
+        for level in 0..=params.phi {
+            if population_protocols::core::coins::read_coin(&partner.role, level) {
+                heads[level as usize] += 1;
+            }
+        }
+    }
+
+    let mut t = Table::new([
+        "coin level", "C_l (agents)", "bias (measured)", "bias (idealised)", "1/bias",
+    ]);
+    for level in 0..=params.phi {
+        let measured = heads[level as usize] as f64 / draws as f64;
+        t.row([
+            format!(
+                "{level}{}",
+                if level == params.phi { " (junta)" } else { "" }
+            ),
+            census.coins_at_least(level).to_string(),
+            format!("{measured:.5}"),
+            format!("{:.5}", params.coin_bias(level)),
+            fnum(1.0 / measured),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nEach level squares the previous fraction (Lemmas 5.1/5.2): a leader\n\
+         candidate flipping coin ℓ survives with probability ≈ C_ℓ/n, which is\n\
+         how the fast-elimination epoch cuts n/2 candidates to O(log n) in\n\
+         only 2Φ+2 rounds (Figure 2)."
+    );
+}

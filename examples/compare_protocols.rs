@@ -1,0 +1,84 @@
+//! Compare the leader-election protocols of the paper's Table 1 on one
+//! population: states used and parallel time to stabilisation.
+//!
+//! ```sh
+//! cargo run --release --example compare_protocols [n] [trials]
+//! ```
+
+use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
+use population_protocols::core::Gsu19;
+use population_protocols::ppsim::stats::Summary;
+use population_protocols::ppsim::table::{fnum, Table};
+use population_protocols::ppsim::{
+    run_trials, run_until_stable, AgentSim, EnumerableProtocol, Protocol,
+};
+
+fn measure<P, F>(make: F, n: u64, trials: usize, seed: u64) -> Summary
+where
+    P: Protocol,
+    F: Fn(u64) -> P + Sync,
+{
+    let times = run_trials(trials, seed, |_, s| {
+        let mut sim = AgentSim::new(make(n), n as usize, s);
+        let res = run_until_stable(&mut sim, 100_000 * n);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    Summary::of(&times)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 11);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    println!("Leader election on n = {n} agents ({trials} trials each)\n");
+    let mut t = Table::new(["protocol", "states", "mean time", "median", "asymptotics (paper)"]);
+
+    let s = measure(|_| SlowLe, n.min(1 << 9), trials, 1);
+    t.row([
+        format!("slow [AAD+04] (n = {})", n.min(1 << 9)),
+        "2".into(),
+        fnum(s.mean),
+        fnum(s.median),
+        "O(1) states, O(n) expected".into(),
+    ]);
+
+    let s = measure(Gs18::for_population, n, trials, 2);
+    t.row([
+        "gs18".into(),
+        Gs18::for_population(n).num_states().to_string(),
+        fnum(s.mean),
+        fnum(s.median),
+        "O(log log n) states, O(log² n) whp".into(),
+    ]);
+
+    let s = measure(Bkko18::for_population, n, trials, 3);
+    t.row([
+        "bkko18".into(),
+        Bkko18::for_population(n).num_states().to_string(),
+        fnum(s.mean),
+        fnum(s.median),
+        "O(log n) states, O(log² n) whp".into(),
+    ]);
+
+    let s = measure(Gsu19::for_population, n, trials, 4);
+    t.row([
+        "gsu19 (this paper)".into(),
+        Gsu19::for_population(n).num_states().to_string(),
+        fnum(s.mean),
+        fnum(s.median),
+        "O(log log n) states, O(log n·log log n) expected".into(),
+    ]);
+
+    t.print();
+    println!(
+        "\nNote: at laptop-scale n the absolute times of gs18 and gsu19 are\n\
+         close — the asymptotic gap is Θ(log n) vs Θ(log log n) *elimination\n\
+         rounds*, and log₄ n only pulls clear of 2Φ+3 beyond n ≈ 2²⁴. Run the\n\
+         bench harness (cargo bench) for the trend analysis."
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: elect a leader among 2048 anonymous agents.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use population_protocols::core::Gsu19;
+use population_protocols::ppsim::{run_until_stable, AgentSim, Simulator};
+
+fn main() {
+    let n: u64 = 2048;
+
+    // The protocol is non-uniform: instances are tuned for a population
+    // size (coin level cap Φ, drag cap Ψ, clock modulus Γ).
+    let protocol = Gsu19::for_population(n);
+    println!(
+        "GSU19 for n = {n}: Φ = {}, Ψ = {}, Γ = {}, {} states",
+        protocol.params().phi,
+        protocol.params().psi,
+        protocol.params().gamma,
+        protocol.params().num_states(),
+    );
+
+    // All agents start in the same state; the random scheduler does the rest.
+    let mut sim = AgentSim::new(protocol, n as usize, 0xC0FFEE);
+    let result = run_until_stable(&mut sim, 60_000 * n);
+
+    assert!(result.converged, "increase the interaction budget");
+    println!(
+        "unique leader elected after {} interactions = {:.1} parallel time \
+         (≈ {:.1} × log₂ n · log₂ log₂ n)",
+        result.interactions,
+        result.parallel_time,
+        result.parallel_time / ((n as f64).log2() * (n as f64).log2().log2()),
+    );
+    println!(
+        "final outputs: {} leader, {} followers",
+        sim.leaders(),
+        sim.population() - sim.leaders()
+    );
+}

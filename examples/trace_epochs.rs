@@ -1,0 +1,85 @@
+//! Narrated run of the paper's protocol: a census at every clock round
+//! showing the three epochs unfold — partition, fast elimination with
+//! biased coins, final elimination with the drag counter.
+//!
+//! ```sh
+//! cargo run --release --example trace_epochs [n]
+//! ```
+
+use population_protocols::core::{Census, Gsu19};
+use population_protocols::ppsim::table::Table;
+use population_protocols::ppsim::{AgentSim, Simulator};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 12);
+
+    let protocol = Gsu19::for_population(n);
+    let params = *protocol.params();
+    println!(
+        "n = {n}, Φ = {}, Ψ = {}, Γ = {}, cnt starts at {}\n",
+        params.phi,
+        params.psi,
+        params.gamma,
+        params.cnt_init()
+    );
+
+    let mut sim = AgentSim::new(protocol, n as usize, 7);
+    let mut t = Table::new([
+        "round", "par.time", "epoch", "active", "passive", "withdrawn", "coins", "junta",
+        "uninit", "max drag",
+    ]);
+
+    let mut last_phase = 0u16;
+    let mut round = 0usize;
+    let budget = 40_000 * n;
+    while sim.interactions() < budget && round < 40 {
+        sim.steps(n / 8);
+        let phase = sim.states()[0].phase;
+        if phase < last_phase {
+            round += 1;
+            let c = Census::of(&sim, &params);
+            let epoch = match c.max_cnt {
+                Some(x) if x == params.cnt_init() => "init".to_string(),
+                Some(0) => "final elim".to_string(),
+                Some(x) => format!(
+                    "fast elim (coin {})",
+                    params.coin_for_cnt(x).unwrap_or(0)
+                ),
+                None => "-".to_string(),
+            };
+            t.row([
+                round.to_string(),
+                format!("{:.0}", sim.parallel_time()),
+                epoch,
+                c.active.to_string(),
+                c.passive.to_string(),
+                c.withdrawn.to_string(),
+                c.coins().to_string(),
+                c.coin_levels[params.phi as usize].to_string(),
+                c.uninitialised().to_string(),
+                c.max_alive_drag.map(|d| d.to_string()).unwrap_or_default(),
+            ]);
+            if sim.is_stably_elected() && c.alive() == 1 {
+                break;
+            }
+        }
+        last_phase = phase;
+    }
+    t.print();
+
+    let c = Census::of(&sim, &params);
+    println!(
+        "\nfinal: {} active, {} passive, {} withdrawn — {}",
+        c.active,
+        c.passive,
+        c.withdrawn,
+        if sim.is_stably_elected() {
+            "unique leader elected"
+        } else {
+            "still running (raise the budget or rounds cap)"
+        }
+    );
+}

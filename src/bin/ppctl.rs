@@ -1,0 +1,243 @@
+//! `ppctl` — command-line driver for the leader-election reproduction.
+//!
+//! ```text
+//! ppctl params --n 4096                    derived protocol parameters
+//! ppctl elect --protocol gsu19 --n 4096    one election, narrated result
+//! ppctl sweep --protocol gs18 --n 512..8192 --trials 8
+//!                                          convergence-time table across n
+//! ppctl census --n 4096 --at 200           census snapshot at a parallel time
+//! ```
+//!
+//! Hand-rolled argument parsing (the repository keeps its dependency set
+//! to the simulation essentials).
+
+use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
+use population_protocols::core::{Census, Gsu19};
+use population_protocols::ppsim::stats::Summary;
+use population_protocols::ppsim::table::{fnum, Table};
+use population_protocols::ppsim::{
+    run_trials, run_until_stable, AgentSim, Protocol, Simulator,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("params") => cmd_params(&args[1..]),
+        Some("elect") => cmd_elect(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("census") => cmd_census(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "ppctl — leader election in population protocols (GSU19 reproduction)\n\n\
+         commands:\n\
+         \x20 params --n N                         show derived parameters\n\
+         \x20 elect  --protocol P --n N [--seed S] run one election\n\
+         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S]\n\
+         \x20                                      convergence table across n (doubling)\n\
+         \x20 census --n N [--at T] [--seed S]     census snapshot at parallel time T\n\n\
+         protocols: gsu19 (default) | gs18 | bkko18 | slow"
+    );
+}
+
+/// Extract `--key value` from an argument list.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_n(args: &[String]) -> u64 {
+    opt(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 12)
+}
+
+fn parse_seed(args: &[String]) -> u64 {
+    opt(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+fn parse_range(args: &[String]) -> (u64, u64) {
+    let spec = opt(args, "--n").unwrap_or("512..8192");
+    match spec.split_once("..") {
+        Some((a, b)) => (
+            a.parse().unwrap_or(512),
+            b.parse().unwrap_or_else(|_| a.parse().unwrap_or(512) * 16),
+        ),
+        None => {
+            let n = spec.parse().unwrap_or(4096);
+            (n, n)
+        }
+    }
+}
+
+fn cmd_params(args: &[String]) -> i32 {
+    let n = parse_n(args);
+    let proto = Gsu19::for_population(n);
+    let p = proto.params();
+    println!("population n       = {n}");
+    println!("coin level cap Φ   = {}", p.phi);
+    println!("drag cap Ψ         = {}", p.psi);
+    println!("clock modulus Γ    = {}", p.gamma);
+    println!("fast-elim counter  = {} (2Φ+3)", p.cnt_init());
+    println!("state-space size   = {}", p.num_states());
+    println!("expected junta     = {:.1} agents", p.coin_bias(p.phi) * n as f64);
+    let mut coins = String::new();
+    for l in 0..=p.phi {
+        coins.push_str(&format!("  level {l}: bias {:.3e}", p.coin_bias(l)));
+    }
+    println!("coin biases        ={coins}");
+    0
+}
+
+fn run_election<P: Protocol>(proto: P, n: u64, seed: u64) -> (bool, f64, u64) {
+    let mut sim = AgentSim::new(proto, n as usize, seed);
+    let res = run_until_stable(&mut sim, 200_000 * n);
+    (res.converged, res.parallel_time, sim.leaders())
+}
+
+fn cmd_elect(args: &[String]) -> i32 {
+    let n = parse_n(args);
+    let seed = parse_seed(args);
+    let protocol = opt(args, "--protocol").unwrap_or("gsu19");
+    let (ok, t, leaders) = match protocol {
+        "gsu19" => run_election(Gsu19::for_population(n), n, seed),
+        "gs18" => run_election(Gs18::for_population(n), n, seed),
+        "bkko18" => run_election(Bkko18::for_population(n), n, seed),
+        "slow" => run_election(SlowLe, n, seed),
+        other => {
+            eprintln!("unknown protocol: {other}");
+            return 2;
+        }
+    };
+    if !ok {
+        eprintln!("did not stabilise within the budget");
+        return 1;
+    }
+    println!(
+        "{protocol}: unique leader among {n} agents after {t:.1} parallel time \
+         ({leaders} leader state{})",
+        if leaders == 1 { "" } else { "s" }
+    );
+    0
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let (lo, hi) = parse_range(args);
+    let trials: usize = opt(args, "--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let seed = parse_seed(args);
+    let protocol = opt(args, "--protocol").unwrap_or("gsu19");
+
+    let mut t = Table::new(["n", "trials", "mean t", "ci95", "median", "t/(lg*lglg)", "t/lg^2"]);
+    let mut n = lo.max(64);
+    while n <= hi {
+        let times: Vec<f64> = run_trials(trials, seed, |_, s| {
+            let budget = 200_000 * n;
+            let res = match protocol {
+                "gsu19" => {
+                    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, s);
+                    run_until_stable(&mut sim, budget)
+                }
+                "gs18" => {
+                    let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, s);
+                    run_until_stable(&mut sim, budget)
+                }
+                "bkko18" => {
+                    let mut sim = AgentSim::new(Bkko18::for_population(n), n as usize, s);
+                    run_until_stable(&mut sim, budget)
+                }
+                _ => {
+                    let mut sim = AgentSim::new(SlowLe, n as usize, s);
+                    run_until_stable(&mut sim, budget)
+                }
+            };
+            res.parallel_time
+        });
+        let s = Summary::of(&times);
+        let l = (n as f64).log2();
+        t.row([
+            n.to_string(),
+            trials.to_string(),
+            fnum(s.mean),
+            fnum(s.ci95),
+            fnum(s.median),
+            format!("{:.2}", s.mean / (l * l.log2().max(1.0))),
+            format!("{:.2}", s.mean / (l * l)),
+        ]);
+        n *= 2;
+    }
+    println!("protocol: {protocol}");
+    t.print();
+    0
+}
+
+fn cmd_census(args: &[String]) -> i32 {
+    let n = parse_n(args);
+    let seed = parse_seed(args);
+    let at: f64 = opt(args, "--at").and_then(|v| v.parse().ok()).unwrap_or(100.0);
+    let proto = Gsu19::for_population(n);
+    let params = *proto.params();
+    let mut sim = AgentSim::new(proto, n as usize, seed);
+    sim.steps((at * n as f64) as u64);
+    let c = Census::of(&sim, &params);
+    println!("census at parallel time {at} (n = {n}):");
+    println!("  zero / X / deactivated : {} / {} / {}", c.zero, c.x, c.d);
+    println!("  coins by level         : {:?}", c.coin_levels);
+    println!("  inhibitors by drag     : {:?}", c.inhibitor_drags);
+    println!("  high inhibitors        : {:?}", c.inhibitor_high);
+    println!(
+        "  leaders A/P/W          : {} / {} / {}",
+        c.active, c.passive, c.withdrawn
+    );
+    println!(
+        "  max alive drag         : {:?}, leaders counter: {:?}",
+        c.max_alive_drag, c.max_cnt
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opt_parses_key_value() {
+        let a = args(&["--n", "128", "--seed", "7"]);
+        assert_eq!(opt(&a, "--n"), Some("128"));
+        assert_eq!(opt(&a, "--seed"), Some("7"));
+        assert_eq!(opt(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn parse_range_forms() {
+        assert_eq!(parse_range(&args(&["--n", "256..1024"])), (256, 1024));
+        assert_eq!(parse_range(&args(&["--n", "512"])), (512, 512));
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(parse_n(&[]), 1 << 12);
+        assert_eq!(parse_seed(&[]), 42);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: every protocol in the repository elects
+//! exactly one leader, on both simulation engines.
+
+use population_protocols::baselines::{gsu_no_drag, Bkko18, Gs18, SlowLe};
+use population_protocols::core::{Census, Gsu19};
+use population_protocols::ppsim::{
+    run_until_stable, AgentSim, Output, Simulator, UrnSim,
+};
+
+#[test]
+fn gsu19_elects_unique_leader_agent_sim() {
+    let n = 1u64 << 10;
+    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, 1);
+    let res = run_until_stable(&mut sim, 40_000 * n);
+    assert!(res.converged);
+    assert_eq!(sim.leaders(), 1);
+    assert_eq!(sim.undecided(), 0);
+}
+
+#[test]
+fn gsu19_elects_unique_leader_urn_sim() {
+    let n = 1u64 << 10;
+    let mut sim = UrnSim::new(Gsu19::for_population(n), n, 2);
+    let res = run_until_stable(&mut sim, 40_000 * n);
+    assert!(res.converged);
+    assert_eq!(sim.leaders(), 1);
+}
+
+#[test]
+fn all_protocols_elect_exactly_one_leader() {
+    let n = 1u64 << 9;
+    let budget = 100_000 * n;
+
+    let mut sim = AgentSim::new(SlowLe, n as usize, 3);
+    assert!(run_until_stable(&mut sim, budget).converged, "slow");
+    assert_eq!(sim.leaders(), 1);
+
+    let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, 4);
+    assert!(run_until_stable(&mut sim, budget).converged, "gs18");
+    assert_eq!(sim.leaders(), 1);
+
+    let mut sim = AgentSim::new(Bkko18::for_population(n), n as usize, 5);
+    assert!(run_until_stable(&mut sim, budget).converged, "bkko18");
+    assert_eq!(sim.leaders(), 1);
+
+    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, 6);
+    assert!(run_until_stable(&mut sim, budget).converged, "gsu19");
+    assert_eq!(sim.leaders(), 1);
+
+    let mut sim = AgentSim::new(gsu_no_drag(n), n as usize, 7);
+    assert!(run_until_stable(&mut sim, budget).converged, "gsu_no_drag");
+    assert_eq!(sim.leaders(), 1);
+}
+
+#[test]
+fn engines_agree_on_protocol_structure() {
+    // The agent-array and urn engines simulate the same Markov chain;
+    // after the same parallel time the sub-population fractions must
+    // agree within noise.
+    let n = 1u64 << 11;
+    let steps = 300 * n;
+
+    let proto = Gsu19::for_population(n);
+    let params = *proto.params();
+    let mut agent = AgentSim::new(proto, n as usize, 11);
+    agent.steps(steps);
+    let ca = Census::of(&agent, &params);
+
+    let proto = Gsu19::for_population(n);
+    let mut urn = UrnSim::new(proto, n, 12);
+    urn.steps(steps);
+    let cu = Census::of(&urn, &params);
+
+    for (a, u, what) in [
+        (ca.coins(), cu.coins(), "coins"),
+        (ca.inhibitors(), cu.inhibitors(), "inhibitors"),
+        (ca.leaders(), cu.leaders(), "leaders"),
+    ] {
+        let rel = (a as f64 - u as f64).abs() / (u as f64).max(1.0);
+        assert!(rel < 0.10, "{what}: agent={a} urn={u}");
+    }
+}
+
+#[test]
+fn stabilisation_persists_long_after_convergence() {
+    let n = 1u64 << 9;
+    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, 13);
+    let res = run_until_stable(&mut sim, 60_000 * n);
+    assert!(res.converged);
+    // Ten thousand more parallel time units: still exactly one leader.
+    for _ in 0..100 {
+        sim.steps(100 * n);
+        assert_eq!(sim.leaders(), 1);
+        assert_eq!(sim.undecided(), 0);
+    }
+}
+
+#[test]
+fn outputs_partition_the_population() {
+    let n = 1u64 << 10;
+    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, 17);
+    for _ in 0..50 {
+        sim.steps(10 * n);
+        let counts = sim.output_counts();
+        assert_eq!(
+            counts[Output::Leader as usize]
+                + counts[Output::Follower as usize]
+                + counts[Output::Undecided as usize],
+            n
+        );
+    }
+}
+
+#[test]
+fn convergence_time_reproducible_for_fixed_seed() {
+    let n = 1u64 << 9;
+    let run = || {
+        let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, 42);
+        run_until_stable(&mut sim, 60_000 * n).interactions
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,102 @@
+//! The two execution engines ([`AgentSim`] and [`UrnSim`]) must simulate
+//! the *same* Markov chain: an urn of anonymous agents. These tests compare
+//! them distributionally on the paper's protocol — beyond the structural
+//! snapshot agreement of `end_to_end.rs`, here we compare convergence-time
+//! distributions and trajectory marginals.
+
+use population_protocols::baselines::SlowLe;
+use population_protocols::core::{Census, Gsu19};
+use population_protocols::ppsim::{
+    mean, run_trials_threads, run_until_stable, AgentSim, Simulator, UrnSim,
+};
+
+#[test]
+fn convergence_time_distributions_match_gsu19() {
+    let n = 1u64 << 9;
+    let trials = 12;
+    let agent_times = run_trials_threads(trials, 100, 2, |_, seed| {
+        let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
+        let res = run_until_stable(&mut sim, 100_000 * n);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    let urn_times = run_trials_threads(trials, 200, 2, |_, seed| {
+        let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+        let res = run_until_stable(&mut sim, 100_000 * n);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    let ma = mean(&agent_times);
+    let mu = mean(&urn_times);
+    let rel = (ma - mu).abs() / ma;
+    assert!(
+        rel < 0.35,
+        "agent mean {ma:.1} vs urn mean {mu:.1} (rel {rel:.2})"
+    );
+}
+
+#[test]
+fn trajectory_marginals_match_slow_protocol() {
+    // The slow protocol's candidate-count trajectory has a known clean
+    // marginal: with leader fraction x, an interaction eliminates one
+    // leader with probability x², so dx/dt = −x² in parallel time and
+    // x(t) = 1/(1+t). Both engines must produce it.
+    let n = 1u64 << 12;
+    let check = |leaders: u64, t: f64| {
+        let expected = n as f64 / (1.0 + t);
+        let rel = (leaders as f64 - expected).abs() / expected;
+        assert!(
+            rel < 0.25,
+            "at t={t}: {leaders} leaders vs expected {expected:.0}"
+        );
+    };
+    let mut agent = AgentSim::new(SlowLe, n as usize, 5);
+    let mut urn = UrnSim::new(SlowLe, n, 6);
+    for k in 1..=8u64 {
+        agent.steps(2 * n);
+        urn.steps(2 * n);
+        let t = 2.0 * k as f64;
+        check(agent.leaders(), t);
+        check(urn.leaders(), t);
+    }
+}
+
+#[test]
+fn census_totals_conserved_on_both_engines() {
+    let n = 1u64 << 10;
+    let proto = Gsu19::for_population(n);
+    let params = *proto.params();
+
+    let mut agent = AgentSim::new(proto, n as usize, 7);
+    let proto = Gsu19::for_population(n);
+    let mut urn = UrnSim::new(proto, n, 8);
+    for _ in 0..10 {
+        agent.steps(30 * n);
+        urn.steps(30 * n);
+        assert_eq!(Census::of(&agent, &params).total(), n);
+        assert_eq!(Census::of(&urn, &params).total(), n);
+    }
+}
+
+#[test]
+fn urn_handles_heterogeneous_start() {
+    use population_protocols::core::synthetic::final_epoch_config;
+    let n = 1u64 << 10;
+    let proto = Gsu19::for_population(n);
+    let params = *proto.params();
+    let states = final_epoch_config(&params, n, 20, 9);
+    // Aggregate into counts for the urn.
+    let mut counts: std::collections::HashMap<_, u64> = std::collections::HashMap::new();
+    for s in &states {
+        *counts.entry(*s).or_insert(0) += 1;
+    }
+    let counts: Vec<_> = counts.into_iter().collect();
+    let proto2 = Gsu19::for_population(n);
+    let mut urn = UrnSim::with_counts(proto2, &counts, 10);
+    assert_eq!(urn.population(), n);
+    let c = Census::of(&urn, &params);
+    assert_eq!(c.active, 20);
+    let res = run_until_stable(&mut urn, 100_000 * n);
+    assert!(res.converged);
+    assert_eq!(urn.leaders(), 1);
+}

@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) of the protocol's safety invariants —
+//! the mechanised core of the paper's Lemma 8.1 and of the state-encoding
+//! correctness.
+
+use population_protocols::core::{
+    AgentState, Flip, Gsu19, LeaderMode, Params, Role, StateCodec,
+};
+use population_protocols::ppsim::Protocol;
+use proptest::prelude::*;
+
+fn params() -> Params {
+    Params::for_population(1 << 12)
+}
+
+/// Strategy generating any *structurally valid* agent state for `params()`
+/// (fields within their ranges; includes plenty of unreachable
+/// combinations — the invariants must hold for all of them).
+fn arb_state() -> impl Strategy<Value = AgentState> {
+    let p = params();
+    let role = prop_oneof![
+        Just(Role::Zero),
+        Just(Role::X),
+        Just(Role::D),
+        (0..=p.phi, any::<bool>()).prop_map(|(level, advancing)| Role::C { level, advancing }),
+        (0..=p.psi, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+            |(drag, advancing, high, started)| Role::I {
+                drag,
+                advancing,
+                high,
+                started,
+            }
+        ),
+        (
+            prop_oneof![
+                Just(LeaderMode::A),
+                Just(LeaderMode::P),
+                Just(LeaderMode::W)
+            ],
+            0..=p.cnt_init(),
+            prop_oneof![Just(Flip::None), Just(Flip::Heads), Just(Flip::Tails)],
+            any::<bool>(),
+            0..=p.psi,
+        )
+            .prop_map(|(mode, cnt, flip, void, drag)| Role::L {
+                mode,
+                cnt,
+                flip,
+                void,
+                drag,
+            }),
+    ];
+    (role, 0..params().gamma).prop_map(|(role, phase)| AgentState { role, phase })
+}
+
+fn is_alive(s: &AgentState) -> bool {
+    s.is_alive_leader()
+}
+
+/// Strategy generating only alive leader candidates (modes A/P).
+fn arb_alive_leader() -> impl Strategy<Value = AgentState> {
+    let p = params();
+    (
+        prop_oneof![Just(LeaderMode::A), Just(LeaderMode::P)],
+        0..=p.cnt_init(),
+        prop_oneof![Just(Flip::None), Just(Flip::Heads), Just(Flip::Tails)],
+        any::<bool>(),
+        0..=p.psi,
+        0..p.gamma,
+    )
+        .prop_map(|(mode, cnt, flip, void, drag, phase)| AgentState {
+            role: Role::L {
+                mode,
+                cnt,
+                flip,
+                void,
+                drag,
+            },
+            phase,
+        })
+}
+
+fn drag_of(s: &AgentState) -> Option<u8> {
+    match s.role {
+        Role::L { drag, .. } => Some(drag),
+        _ => None,
+    }
+}
+
+proptest! {
+    /// The dense codec round-trips every structurally valid state.
+    #[test]
+    fn codec_roundtrips(s in arb_state()) {
+        let codec = StateCodec::new(params());
+        let id = codec.encode(s);
+        prop_assert!(id < codec.num_states());
+        prop_assert_eq!(codec.decode(id), s);
+    }
+
+    /// Transitions always produce encodable states (no field ever leaves
+    /// its range — drag caps at Ψ, cnt at its initial value, phase < Γ).
+    #[test]
+    fn transitions_stay_in_state_space(r in arb_state(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        let codec = StateCodec::new(params());
+        let (r2, i2) = proto.transition(r, i);
+        prop_assert!(codec.encode(r2) < codec.num_states());
+        prop_assert!(codec.encode(i2) < codec.num_states());
+        prop_assert_eq!(codec.decode(codec.encode(r2)), r2);
+        prop_assert_eq!(codec.decode(codec.encode(i2)), i2);
+    }
+
+    /// Lemma 8.1 locally, part 1: an interaction between two alive
+    /// candidates leaves at least one alive (the duel kills exactly one;
+    /// no rule combination kills both).
+    ///
+    /// Note the global-vs-local subtlety this property's first draft
+    /// tripped over: a *single* alive candidate can legitimately be
+    /// withdrawn pairwise when the partner carries a strictly larger drag
+    /// value — that value is evidence of a more senior alive candidate
+    /// elsewhere (drag values are only minted by active leaders via rule
+    /// (10)), so global safety is preserved even though the local alive
+    /// count drops to zero. See `max_drag_alive_survives` for the local
+    /// form that is actually invariant.
+    #[test]
+    fn no_interaction_eliminates_both_alive(r in arb_alive_leader(), i in arb_alive_leader()) {
+        let proto = Gsu19::new(params());
+        let (r2, i2) = proto.transition(r, i);
+        let after = is_alive(&r2) as u8 + is_alive(&i2) as u8;
+        prop_assert!(after >= 1, "{:?} + {:?} -> {:?} + {:?}", r, i, r2, i2);
+    }
+
+    /// Lemma 8.1 locally, part 2: an alive candidate whose drag is at
+    /// least everything the partner carries can be passivated but never
+    /// withdrawn by that interaction.
+    #[test]
+    fn alive_with_dominant_drag_stays_alive(r in arb_alive_leader(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        prop_assume!(!is_alive(&i)); // alive-vs-alive is the duel, covered above
+        prop_assume!(drag_of(&i).map_or(true, |d| d <= drag_of(&r).unwrap()));
+        let (r2, _) = proto.transition(r, i);
+        prop_assert!(is_alive(&r2), "{:?} + {:?} -> {:?}", r, i, r2);
+    }
+
+    /// Lemma 8.1's witness: the maximum drag among *alive* agents of the
+    /// pair never decreases unless that agent survives anyway — concretely,
+    /// if one side is alive with drag d and the other carries no larger
+    /// drag, an alive agent with drag >= d remains.
+    #[test]
+    fn max_drag_alive_survives(r in arb_alive_leader(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        let max_alive_drag_before = [&r, &i]
+            .iter()
+            .filter(|s| is_alive(s))
+            .filter_map(|s| drag_of(s))
+            .max();
+        // Only meaningful if the pair's max drag overall is held by an
+        // alive agent (otherwise a W can legitimately out-drag both); the
+        // responder is generated alive, so this rejects only the ~3% of
+        // cases where a withdrawn initiator out-drags it.
+        let max_drag_any = [&r, &i].iter().filter_map(|s| drag_of(s)).max();
+        prop_assume!(max_alive_drag_before == max_drag_any);
+        let (r2, i2) = proto.transition(r, i);
+        let max_alive_drag_after = [&r2, &i2]
+            .iter()
+            .filter(|s| is_alive(s))
+            .filter_map(|s| drag_of(s))
+            .max();
+        prop_assert!(
+            max_alive_drag_after >= max_alive_drag_before,
+            "{:?} + {:?} -> {:?} + {:?}", r, i, r2, i2
+        );
+    }
+
+    /// Withdrawn is absorbing: a W candidate never becomes alive again,
+    /// and a deactivated agent never leaves D.
+    #[test]
+    fn withdrawn_and_deactivated_are_absorbing(r in arb_state(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        let (r2, i2) = proto.transition(r, i);
+        for (before, after) in [(&r, &r2), (&i, &i2)] {
+            if matches!(before.role, Role::L { mode: LeaderMode::W, .. }) {
+                prop_assert!(
+                    matches!(after.role, Role::L { mode: LeaderMode::W, .. }),
+                    "withdrawn came back: {:?} -> {:?}", before, after
+                );
+            }
+            if before.role == Role::D {
+                prop_assert_eq!(after.role, Role::D);
+            }
+        }
+    }
+
+    /// Sub-population membership is permanent: C stays C, I stays I,
+    /// L stays L.
+    #[test]
+    fn roles_are_permanent(r in arb_state(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        let (r2, i2) = proto.transition(r, i);
+        for (before, after) in [(&r, &r2), (&i, &i2)] {
+            let kept = match before.role {
+                Role::C { .. } => matches!(after.role, Role::C { .. }),
+                Role::I { .. } => matches!(after.role, Role::I { .. }),
+                Role::L { .. } => matches!(after.role, Role::L { .. }),
+                _ => true,
+            };
+            prop_assert!(kept, "role changed: {:?} -> {:?}", before, after);
+        }
+    }
+
+    /// Coin levels never decrease and never exceed Φ; leader `cnt` never
+    /// increases (it is a countdown).
+    #[test]
+    fn monotone_fields(r in arb_state(), i in arb_state()) {
+        let p = params();
+        let proto = Gsu19::new(p);
+        let (r2, _) = proto.transition(r, i);
+        if let (Role::C { level: a, .. }, Role::C { level: b, .. }) = (r.role, r2.role) {
+            prop_assert!(b >= a && b <= p.phi);
+        }
+        if let (Role::L { cnt: a, .. }, Role::L { cnt: b, .. }) = (r.role, r2.role) {
+            prop_assert!(b <= a);
+        }
+    }
+
+    /// The initiator's clock phase never changes (only the responder
+    /// updates its clock), and only partition/duel rules may touch the
+    /// initiator at all.
+    #[test]
+    fn initiator_phase_is_untouched(r in arb_state(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        let (_, i2) = proto.transition(r, i);
+        prop_assert_eq!(i2.phase, i.phase);
+    }
+
+    /// Output mapping: Undecided iff 0/X; Leader iff alive candidate.
+    #[test]
+    fn output_mapping_is_consistent(s in arb_state()) {
+        use population_protocols::ppsim::Output;
+        let proto = Gsu19::new(params());
+        let out = proto.output(s);
+        match s.role {
+            Role::Zero | Role::X => prop_assert_eq!(out, Output::Undecided),
+            Role::L { mode: LeaderMode::A | LeaderMode::P, .. } =>
+                prop_assert_eq!(out, Output::Leader),
+            _ => prop_assert_eq!(out, Output::Follower),
+        }
+    }
+
+    /// Determinism: δ is a function.
+    #[test]
+    fn transition_is_deterministic(r in arb_state(), i in arb_state()) {
+        let proto = Gsu19::new(params());
+        prop_assert_eq!(proto.transition(r, i), proto.transition(r, i));
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's headline correctness claim (Theorem 8.2): the protocol
+//! **always** elects exactly one leader — even if the phase clock
+//! desynchronises completely. The guarantee rests on two facts:
+//!
+//! * the backup duels (rule (11)) alone reduce any set of alive candidates
+//!   to one, with no help from the clock;
+//! * no rule can eliminate the most senior alive candidate (Lemma 8.1).
+//!
+//! We test this from *adversarial* configurations: random role mixes,
+//! random clock phases (maximally desynchronised), random leader modes,
+//! flips, void flags and drag values — states no honest execution would
+//! produce together. From every such configuration with at least one alive
+//! candidate and settled roles, the protocol must stabilise to exactly one
+//! leader and stay there.
+
+use population_protocols::core::{AgentState, Flip, Gsu19, LeaderMode, Params, Role};
+use population_protocols::ppsim::{run_until_stable, AgentSim, Simulator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random settled-role configuration with at least one alive candidate.
+fn adversarial_config(params: &Params, n: usize, rng: &mut SmallRng) -> Vec<AgentState> {
+    let mut states = Vec::with_capacity(n);
+    for k in 0..n {
+        let phase = rng.gen_range(0..params.gamma);
+        let role = match rng.gen_range(0..10) {
+            0 | 1 => Role::C {
+                level: rng.gen_range(0..=params.phi),
+                advancing: rng.gen(),
+            },
+            2 | 3 => Role::I {
+                drag: rng.gen_range(0..=params.psi),
+                advancing: rng.gen(),
+                high: rng.gen(),
+                started: rng.gen(),
+            },
+            4 => Role::D,
+            _ => {
+                let mode = match rng.gen_range(0..4) {
+                    0 => LeaderMode::A,
+                    1 => LeaderMode::P,
+                    _ => LeaderMode::W,
+                };
+                // Guarantee at least one alive candidate deterministically.
+                let mode = if k == 0 { LeaderMode::A } else { mode };
+                Role::L {
+                    mode,
+                    cnt: rng.gen_range(0..=params.cnt_init()),
+                    flip: match rng.gen_range(0..3) {
+                        0 => Flip::None,
+                        1 => Flip::Heads,
+                        _ => Flip::Tails,
+                    },
+                    void: rng.gen(),
+                    drag: rng.gen_range(0..=params.psi),
+                }
+            }
+        };
+        states.push(AgentState { role, phase });
+    }
+    states
+}
+
+#[test]
+fn stabilises_from_adversarial_configurations() {
+    let n = 128usize;
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for case in 0..25 {
+        let proto = Gsu19::for_population(n as u64);
+        let params = *proto.params();
+        let states = adversarial_config(&params, n, &mut rng);
+        let mut sim = AgentSim::with_states(proto, states, 5000 + case);
+        // Duels alone finish in Θ(n) parallel time; budget generously.
+        let res = run_until_stable(&mut sim, 3_000_000);
+        assert!(res.converged, "case {case} did not stabilise");
+        assert_eq!(sim.leaders(), 1, "case {case}");
+        // Persistence: the unique leader survives.
+        sim.steps(200_000);
+        assert_eq!(sim.leaders(), 1, "case {case} lost its leader");
+    }
+}
+
+#[test]
+fn stabilises_with_every_clock_phase_identical_but_stuck() {
+    // No junta at all: every coin below the cap and stopped — the clock
+    // can never tick, rounds never happen, yet the duels must still elect
+    // a unique leader.
+    let n = 128usize;
+    let proto = Gsu19::for_population(n as u64);
+    let params = *proto.params();
+    let mut states = Vec::with_capacity(n);
+    for k in 0..n {
+        let role = if k % 2 == 0 {
+            Role::L {
+                mode: LeaderMode::A,
+                cnt: params.cnt_init(),
+                flip: Flip::None,
+                void: true,
+                drag: 0,
+            }
+        } else {
+            Role::C {
+                level: 0,
+                advancing: false,
+            }
+        };
+        states.push(AgentState { role, phase: 0 });
+    }
+    let mut sim = AgentSim::with_states(proto, states, 77);
+    let res = run_until_stable(&mut sim, 5_000_000);
+    assert!(res.converged, "clockless population did not stabilise");
+    assert_eq!(sim.leaders(), 1);
+}
+
+#[test]
+fn stabilises_when_all_candidates_start_passive_but_one() {
+    // One active among a crowd of passives with assorted drags: rule (9)
+    // plus duels must clean up without ever touching the top candidate.
+    let n = 256usize;
+    let proto = Gsu19::for_population(n as u64);
+    let params = *proto.params();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut states = Vec::with_capacity(n);
+    for k in 0..n {
+        let role = if k == 0 {
+            Role::L {
+                mode: LeaderMode::A,
+                cnt: 0,
+                flip: Flip::None,
+                void: true,
+                drag: params.psi, // maximal seniority: must be the winner
+            }
+        } else if k < 64 {
+            Role::L {
+                mode: LeaderMode::P,
+                cnt: 0,
+                flip: Flip::Tails,
+                void: false,
+                drag: rng.gen_range(0..params.psi),
+            }
+        } else if k < 128 {
+            Role::I {
+                drag: rng.gen_range(0..=params.psi),
+                advancing: false,
+                high: rng.gen(),
+                started: true,
+            }
+        } else {
+            Role::C {
+                level: rng.gen_range(0..=params.phi),
+                advancing: false,
+            }
+        };
+        states.push(AgentState {
+            role,
+            phase: rng.gen_range(0..params.gamma),
+        });
+    }
+    let mut sim = AgentSim::with_states(proto, states, 13);
+    let res = run_until_stable(&mut sim, 5_000_000);
+    assert!(res.converged);
+    assert_eq!(sim.leaders(), 1);
+    // The survivor must be the maximally senior candidate (it can never
+    // lose a duel and nothing carries a higher drag).
+    let survivor = sim
+        .states()
+        .iter()
+        .find(|s| s.is_alive_leader())
+        .copied()
+        .expect("one alive candidate");
+    match survivor.role {
+        Role::L { drag, .. } => assert_eq!(drag, params.psi),
+        _ => unreachable!(),
+    }
+}
