@@ -71,7 +71,10 @@ impl Bkko18 {
 
     /// Explicit clock modulus (testing, ablations).
     pub fn with_modulus(m: u16) -> Self {
-        assert!(m >= 4 && m % 2 == 0, "modulus must be even and >= 4");
+        assert!(
+            m >= 4 && m.is_multiple_of(2),
+            "modulus must be even and >= 4"
+        );
         Self { m }
     }
 
@@ -168,8 +171,7 @@ impl EnumerableProtocol for Bkko18 {
             BkkoFlip::Heads => 1,
             BkkoFlip::Tails => 2,
         };
-        (((((s.counter as usize) * 2 + s.parity as usize) * 2 + s.candidate as usize) * 3
-            + flip)
+        (((((s.counter as usize) * 2 + s.parity as usize) * 2 + s.candidate as usize) * 3 + flip)
             * 2
             + s.void as usize)
             * 2

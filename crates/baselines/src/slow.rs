@@ -90,10 +90,7 @@ mod tests {
             ratios.push(total / trials as f64 / n as f64);
         }
         let rel = (ratios[0] - ratios[1]).abs() / ratios[1];
-        assert!(
-            rel < 0.5,
-            "t/n not stable across n: {ratios:?}"
-        );
+        assert!(rel < 0.5, "t/n not stable across n: {ratios:?}");
     }
 
     #[test]

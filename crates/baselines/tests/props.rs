@@ -14,18 +14,20 @@ fn arb_bkko_state(m: u16) -> impl Strategy<Value = BkkoState> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(counter, parity, candidate, flip, void, round_parity)| BkkoState {
-            counter,
-            parity,
-            candidate,
-            flip: match flip {
-                0 => baselines::bkko18::BkkoFlip::None,
-                1 => baselines::bkko18::BkkoFlip::Heads,
-                _ => baselines::bkko18::BkkoFlip::Tails,
+        .prop_map(
+            |(counter, parity, candidate, flip, void, round_parity)| BkkoState {
+                counter,
+                parity,
+                candidate,
+                flip: match flip {
+                    0 => baselines::bkko18::BkkoFlip::None,
+                    1 => baselines::bkko18::BkkoFlip::Heads,
+                    _ => baselines::bkko18::BkkoFlip::Tails,
+                },
+                void,
+                round_parity,
             },
-            void,
-            round_parity,
-        })
+        )
 }
 
 proptest! {

@@ -59,22 +59,14 @@ fn passive_cleanup_latency(sc: Scale) {
                     gsu_no_drag(n)
                 };
                 let params = *proto.params();
-                let states = core_protocol::synthetic::final_epoch_config(
-                    &params,
-                    n,
-                    k,
-                    seed ^ 0x5150,
-                );
+                let states =
+                    core_protocol::synthetic::final_epoch_config(&params, n, k, seed ^ 0x5150);
                 let mut sim = AgentSim::with_states(proto, states, seed);
                 let budget = (budget_parallel * n as f64) as u64;
                 let res = ppsim::run_until_stable(&mut sim, budget);
                 (res.converged, res.parallel_time)
             });
-            let times: Vec<f64> = results
-                .iter()
-                .filter(|r| r.0)
-                .map(|r| r.1)
-                .collect();
+            let times: Vec<f64> = results.iter().filter(|r| r.0).map(|r| r.1).collect();
             let failures = results.len() - times.len();
             let s = Summary::of(&times);
             t.row([

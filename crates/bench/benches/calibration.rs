@@ -38,7 +38,10 @@ fn main() {
 }
 
 fn gamma_sweep(n: u64, trials: usize) {
-    println!("--- Γ sweep (derived Γ = {}) ---", Params::for_population(n).gamma);
+    println!(
+        "--- Γ sweep (derived Γ = {}) ---",
+        Params::for_population(n).gamma
+    );
     let mut t = Table::new(["Γ", "factor", "fail", "mean t", "median", "p90"]);
     let base = Params::for_population(n).gamma;
     for factor in [0.5, 0.75, 1.0, 1.5, 2.0] {
@@ -79,8 +82,7 @@ fn phi_sweep(n: u64, trials: usize) {
     println!("--- Φ sweep (derived Φ = {natural}) ---");
     let mut t = Table::new(["Φ", "E[junta]", "fail", "mean t", "median", "p90"]);
     for phi in 1..=(natural + 1) {
-        let expected_junta =
-            components::junta::expected_fraction_at_level(0.25, phi) * n as f64;
+        let expected_junta = components::junta::expected_fraction_at_level(0.25, phi) * n as f64;
         let stats = measure_convergence(
             |n| {
                 let mut p = Params::for_population(n);

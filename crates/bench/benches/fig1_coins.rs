@@ -34,7 +34,13 @@ fn main() {
         });
 
         let mut t = Table::new([
-            "level", "C_l(mean)", "frac=bias", "ideal f_l", "env_lo", "env_hi", "ok",
+            "level",
+            "C_l(mean)",
+            "frac=bias",
+            "ideal f_l",
+            "env_lo",
+            "env_hi",
+            "ok",
         ]);
         let mut prev_mean: Option<f64> = None;
         for l in 0..=params.phi {
@@ -49,7 +55,11 @@ fn main() {
                     let q = p / n as f64;
                     let lo = 0.45 * q * q * n as f64;
                     let hi = 1.10 * q * q * n as f64;
-                    let ok = if mean >= lo && mean <= hi { "yes" } else { "NO" };
+                    let ok = if mean >= lo && mean <= hi {
+                        "yes"
+                    } else {
+                        "NO"
+                    };
                     (lo, hi, ok.to_string())
                 }
             };

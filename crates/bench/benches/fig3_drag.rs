@@ -64,7 +64,11 @@ fn main() {
     });
 
     let mut t = Table::new([
-        "l", "trials seen", "mean T_l (inter.)", "T_l/(4^l n lg n)", "T_{l}/T_{l-1}",
+        "l",
+        "trials seen",
+        "mean T_l (inter.)",
+        "T_l/(4^l n lg n)",
+        "T_{l}/T_{l-1}",
     ]);
     let mut prev_mean: Option<f64> = None;
     for step in 1..=target_drag as usize {
@@ -79,7 +83,13 @@ fn main() {
             })
             .collect();
         if gaps.is_empty() {
-            t.row([l.to_string(), "0".into(), "-".into(), "-".into(), "-".into()]);
+            t.row([
+                l.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let mean = ppsim::mean(&gaps);

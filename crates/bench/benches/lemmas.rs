@@ -55,7 +55,9 @@ fn lemma_4_1(sc: bench::Scale) {
 
 /// Lemmas 5.1/5.2 and 5.3: the coin level recursion and the junta window.
 fn lemmas_5x(sc: bench::Scale) {
-    println!("--- Lemmas 5.1/5.2: C_(l+1) in [9/20, 11/10] * C_l^2/n;  Lemma 5.3: junta window ---");
+    println!(
+        "--- Lemmas 5.1/5.2: C_(l+1) in [9/20, 11/10] * C_l^2/n;  Lemma 5.3: junta window ---"
+    );
     let mut t = Table::new(["n", "level", "C_l", "C_(l+1)", "ratio*n/C_l^2", "in band"]);
     for &n in &sc.n_grid() {
         let trials = sc.trials(n).min(12);
@@ -148,7 +150,13 @@ fn lemma_7_1(sc: bench::Scale) {
 fn lemma_7_3(sc: bench::Scale) {
     println!("--- Lemma 7.3: final-epoch rounds from c*log n actives to a single one ---");
     let mut t = Table::new([
-        "n", "k=4*lg n", "trials", "mean rounds", "p90", "max", "lg lg n",
+        "n",
+        "k=4*lg n",
+        "trials",
+        "mean rounds",
+        "p90",
+        "max",
+        "lg lg n",
     ]);
     for &n in &sc.n_grid() {
         let trials = sc.trials(n).min(16);
@@ -156,8 +164,7 @@ fn lemma_7_3(sc: bench::Scale) {
         let rows: Vec<Option<usize>> = run_trials(trials, 53, |_, seed| {
             let proto = Gsu19::for_population(n);
             let params = *proto.params();
-            let states =
-                core_protocol::synthetic::final_epoch_config(&params, n, k, seed ^ 0xABCD);
+            let states = core_protocol::synthetic::final_epoch_config(&params, n, k, seed ^ 0xABCD);
             let mut sim = AgentSim::with_states(proto, states, seed);
             let mut done: Option<usize> = None;
             run_rounds(

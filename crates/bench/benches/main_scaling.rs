@@ -16,12 +16,15 @@ use core_protocol::Gsu19;
 use ppsim::stats::{linear_fit, Summary};
 use ppsim::table::{fnum, Table};
 
+/// Per-protocol measurement rows: (n, mean time, ci95 half-width).
+type ProtocolRows = (&'static str, Vec<(u64, f64, f64)>);
+
 fn main() {
     let sc = scale();
     println!("=== MAIN: expected stabilisation time vs n (Theorem 8.2) ({sc:?} scale) ===\n");
 
     let grid = sc.n_grid();
-    let mut results: Vec<(&str, Vec<(u64, f64, f64)>)> = Vec::new();
+    let mut results: Vec<ProtocolRows> = Vec::new();
 
     for (name, idx) in [("gsu19", 0u64), ("gs18", 1), ("bkko18", 2)] {
         let mut rows = Vec::new();
@@ -42,7 +45,13 @@ fn main() {
     }
 
     let mut t = Table::new([
-        "protocol", "n", "mean t", "ci95", "t/log n", "t/log2 n", "t/(lg*lglg)",
+        "protocol",
+        "n",
+        "mean t",
+        "ci95",
+        "t/log n",
+        "t/log2 n",
+        "t/(lg*lglg)",
     ]);
     for (name, rows) in &results {
         for &(n, mean, ci) in rows {
@@ -60,7 +69,12 @@ fn main() {
     t.print();
 
     println!("\n--- Shape fits: t = a·x + b ---");
-    let mut t = Table::new(["protocol", "x = lg*lglg: r2", "x = log2 n: r2", "better fit"]);
+    let mut t = Table::new([
+        "protocol",
+        "x = lg*lglg: r2",
+        "x = log2 n: r2",
+        "better fit",
+    ]);
     for (name, rows) in &results {
         let ns: Vec<f64> = rows.iter().map(|r| r.0 as f64).collect();
         let ys: Vec<f64> = rows.iter().map(|r| r.1).collect();

@@ -30,8 +30,18 @@ fn main() {
     println!("=== T1: Table 1, empirical ({sc:?} scale) ===\n");
 
     let mut t = Table::new([
-        "protocol", "n", "states", "seen", "trials", "fail", "mean_t", "ci95", "median",
-        "p90", "t/log2n", "t/(lg*lglg)",
+        "protocol",
+        "n",
+        "states",
+        "seen",
+        "trials",
+        "fail",
+        "mean_t",
+        "ci95",
+        "median",
+        "p90",
+        "t/log2n",
+        "t/(lg*lglg)",
     ]);
 
     // The slow protocol runs in Θ(n) — measure it on a small grid only.
@@ -61,7 +71,14 @@ fn main() {
         let gsu = Gsu19::for_population(n);
         let stats = measure_convergence(Gsu19::for_population, n, trials, budget, 4);
         let seen = observed_states(Gsu19::for_population, n, budget, 1004);
-        push_row(&mut t, "gsu19 (this work)", n, gsu.num_states(), seen, &stats);
+        push_row(
+            &mut t,
+            "gsu19 (this work)",
+            n,
+            gsu.num_states(),
+            seen,
+            &stats,
+        );
     }
 
     t.print();

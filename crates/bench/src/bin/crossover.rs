@@ -31,7 +31,12 @@ fn main() {
         let l = (n as f64).log2();
         println!(
             "{proto} n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
-            l, s.mean, s.ci95, s.median, s.mean / (l * l), s.mean / (l * l.log2()),
+            l,
+            s.mean,
+            s.ci95,
+            s.median,
+            s.mean / (l * l),
+            s.mean / (l * l.log2()),
         );
     }
 }

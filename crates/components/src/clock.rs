@@ -55,7 +55,10 @@ impl Clock {
     /// Panics unless `gamma` is even and at least 4 (the construction needs
     /// well-defined halves and a wrap region).
     pub fn new(gamma: u16) -> Self {
-        assert!(gamma >= 4 && gamma % 2 == 0, "gamma must be even and >= 4");
+        assert!(
+            gamma >= 4 && gamma.is_multiple_of(2),
+            "gamma must be even and >= 4"
+        );
         Self { gamma }
     }
 

@@ -92,9 +92,7 @@ impl ClockProtocol {
             ClockRole::Zero => 0,
             ClockRole::Pre => 1,
             ClockRole::Blank => 2,
-            ClockRole::Racer { level, advancing } => {
-                3 + (level as usize) * 2 + advancing as usize
-            }
+            ClockRole::Racer { level, advancing } => 3 + (level as usize) * 2 + advancing as usize,
         }
     }
 

@@ -99,8 +99,7 @@ mod tests {
             let mut times = Vec::new();
             for t in 0..10u64 {
                 let mut sim = seeded_population(n, 1, 100 + t);
-                let res =
-                    run_until(&mut sim, (n as u64) * 500, |s| s.leaders() == n as u64);
+                let res = run_until(&mut sim, (n as u64) * 500, |s| s.leaders() == n as u64);
                 assert!(res.converged);
                 times.push(res.parallel_time);
             }

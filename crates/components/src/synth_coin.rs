@@ -87,10 +87,7 @@ mod tests {
         sim.steps(4 * n);
         let ones = sim.leaders();
         let frac = ones as f64 / n as f64;
-        assert!(
-            (frac - 0.5).abs() < 0.05,
-            "parity bits unbalanced: {frac}"
-        );
+        assert!((frac - 0.5).abs() < 0.05, "parity bits unbalanced: {frac}");
     }
 
     #[test]

@@ -77,7 +77,9 @@ impl Census {
                     c.inhibitors_advancing += k;
                 }
             }
-            Role::L { mode, cnt, drag, .. } => {
+            Role::L {
+                mode, cnt, drag, ..
+            } => {
                 match mode {
                     LeaderMode::A => c.active += k,
                     LeaderMode::P => c.passive += k,
@@ -117,10 +119,7 @@ impl Census {
 
     /// Coins at level ≥ ℓ — the paper's `C_ℓ` (Section 5).
     pub fn coins_at_least(&self, level: u8) -> u64 {
-        self.coin_levels
-            .iter()
-            .skip(level as usize)
-            .sum()
+        self.coin_levels.iter().skip(level as usize).sum()
     }
 
     /// Agents not yet committed to a role.

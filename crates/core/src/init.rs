@@ -20,10 +20,7 @@ use crate::state::{AgentState, Role};
 /// pair, if any applies.
 pub fn partition(params: &Params, responder: &Role, initiator: &Role) -> Option<(Role, Role)> {
     match (responder, initiator) {
-        (Role::Zero, Role::Zero) => Some((
-            Role::X,
-            AgentState::fresh_leader(params, 0).role,
-        )),
+        (Role::Zero, Role::Zero) => Some((Role::X, AgentState::fresh_leader(params, 0).role)),
         (Role::X, Role::X) => Some((
             AgentState::fresh_coin(0).role,
             AgentState::fresh_inhibitor(0).role,

@@ -93,7 +93,7 @@ impl Params {
             None
         } else if cnt == 0 {
             Some(0)
-        } else if cnt >= 2 * self.phi.saturating_sub(1) + 1 {
+        } else if cnt > 2 * self.phi.saturating_sub(1) {
             Some(self.phi)
         } else {
             Some(cnt.div_ceil(2))
@@ -172,7 +172,10 @@ mod tests {
             let p = Params::for_population(1u64 << exp);
             assert!(p.phi >= 1, "phi at 2^{exp}");
             assert!(p.psi >= 2, "psi at 2^{exp}");
-            assert!(p.gamma >= 16 && p.gamma % 2 == 0, "gamma at 2^{exp}");
+            assert!(
+                p.gamma >= 16 && p.gamma.is_multiple_of(2),
+                "gamma at 2^{exp}"
+            );
             assert!(p.num_states() > 0);
         }
     }
@@ -195,10 +198,7 @@ mod tests {
             let n = 1u64 << exp;
             let psi = psi_for(n);
             let horizon = (exp as f64) * (exp as f64);
-            assert!(
-                4f64.powi(psi as i32) >= horizon,
-                "4^{psi} < log²(2^{exp})"
-            );
+            assert!(4f64.powi(psi as i32) >= horizon, "4^{psi} < log²(2^{exp})");
         }
     }
 
@@ -208,7 +208,7 @@ mod tests {
         p.phi = 3; // force Φ=3 to exercise the general shape
         assert_eq!(p.cnt_init(), 9);
         assert_eq!(p.coin_for_cnt(9), None); // idle first round
-        // cnt 8,7,6,5 -> coin Φ=3 (four uses)
+                                             // cnt 8,7,6,5 -> coin Φ=3 (four uses)
         for cnt in [8, 7, 6, 5] {
             assert_eq!(p.coin_for_cnt(cnt), Some(3), "cnt={cnt}");
         }

@@ -245,7 +245,11 @@ mod tests {
         let proto = Gsu19::for_population(n);
         let mut sim = AgentSim::new(proto, n as usize, 17);
         let res = run_until_stable(&mut sim, 20_000 * n);
-        assert!(res.converged, "no convergence in {} interactions", 20_000 * n);
+        assert!(
+            res.converged,
+            "no convergence in {} interactions",
+            20_000 * n
+        );
         assert_eq!(sim.leaders(), 1);
         assert_eq!(sim.undecided(), 0);
     }

@@ -253,8 +253,7 @@ impl StateCodec {
                 let cnts = self.params.cnt_init() as usize + 1;
                 let psi1 = self.params.psi as usize + 1;
                 self.leader_base
-                    + ((((mode_i * cnts + cnt as usize) * 3 + flip_i) * 2 + void as usize)
-                        * psi1
+                    + ((((mode_i * cnts + cnt as usize) * 3 + flip_i) * 2 + void as usize) * psi1
                         + drag as usize)
             }
         }
@@ -359,7 +358,11 @@ mod tests {
         assert!(s.is_alive_leader());
         match s.role {
             Role::L {
-                cnt, flip, void, drag, ..
+                cnt,
+                flip,
+                void,
+                drag,
+                ..
             } => {
                 assert_eq!(cnt, p.cnt_init());
                 assert_eq!(flip, Flip::None);
@@ -403,8 +406,7 @@ mod tests {
     #[test]
     fn seniority_orders_by_drag_first() {
         let p = params();
-        let high_drag_passive =
-            seniority_key(LeaderMode::P, p.cnt_init(), Flip::Tails, 3, &p);
+        let high_drag_passive = seniority_key(LeaderMode::P, p.cnt_init(), Flip::Tails, 3, &p);
         let low_drag_active = seniority_key(LeaderMode::A, 0, Flip::Heads, 2, &p);
         assert!(high_drag_passive > low_drag_active);
     }

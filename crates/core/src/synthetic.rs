@@ -32,12 +32,7 @@ use crate::state::{AgentState, Flip, LeaderMode, Role};
 ///
 /// # Panics
 /// Panics if `k_active` exceeds the leader sub-population (≈ n/2).
-pub fn final_epoch_config(
-    params: &Params,
-    n: u64,
-    k_active: u64,
-    seed: u64,
-) -> Vec<AgentState> {
+pub fn final_epoch_config(params: &Params, n: u64, k_active: u64, seed: u64) -> Vec<AgentState> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n_coins = n / 4;
     let n_inhibitors = n / 4;
@@ -56,8 +51,7 @@ pub fn final_epoch_config(
         let u: f64 = rng.gen();
         let mut level = 0u8;
         while level < params.phi {
-            let p_ge_next =
-                components::junta::expected_fraction_at_level(f0, level + 1) / f0;
+            let p_ge_next = components::junta::expected_fraction_at_level(f0, level + 1) / f0;
             if u < p_ge_next {
                 level += 1;
             } else {

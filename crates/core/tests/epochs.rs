@@ -23,7 +23,11 @@ fn final_epoch_reduces_actives_geometrically() {
     let round = 5.0 * (n as f64).log2();
     sim.steps((8.0 * round) as u64 * n);
     let c = Census::of(&sim, &params);
-    assert!(c.active <= k / 8, "actives {} after 8 rounds (from {k})", c.active);
+    assert!(
+        c.active <= k / 8,
+        "actives {} after 8 rounds (from {k})",
+        c.active
+    );
     assert!(c.alive() >= 1);
 }
 
@@ -39,7 +43,12 @@ fn active_count_is_monotone_in_final_epoch() {
     for _ in 0..400 {
         sim.steps(n / 2);
         let c = Census::of(&sim, &params);
-        assert!(c.active <= prev, "actives increased: {} -> {}", prev, c.active);
+        assert!(
+            c.active <= prev,
+            "actives increased: {} -> {}",
+            prev,
+            c.active
+        );
         prev = c.active;
     }
 }
@@ -105,9 +114,15 @@ fn passives_withdraw_after_drag_advance() {
         let c = Census::of(s, &params);
         c.passive == 0 && c.active >= 1
     });
-    assert!(res.converged, "passives not withdrawn within 400 parallel time");
+    assert!(
+        res.converged,
+        "passives not withdrawn within 400 parallel time"
+    );
     let c = Census::of(&sim, &params);
-    assert!(c.max_alive_drag.unwrap_or(0) >= 1, "survivor never advanced");
+    assert!(
+        c.max_alive_drag.unwrap_or(0) >= 1,
+        "survivor never advanced"
+    );
 }
 
 /// Mechanism: without any active leader, drag-0 inhibitors are never

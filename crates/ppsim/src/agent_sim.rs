@@ -53,7 +53,10 @@ impl<P: Protocol> AgentSim<P> {
     /// # Panics
     /// Panics if fewer than two states are supplied.
     pub fn with_states(protocol: P, states: Vec<P::State>, seed: u64) -> Self {
-        assert!(states.len() >= 2, "population must contain at least two agents");
+        assert!(
+            states.len() >= 2,
+            "population must contain at least two agents"
+        );
         let mut output_counts = [0u64; NUM_OUTPUTS];
         for &s in &states {
             output_counts[protocol.output(s) as usize] += 1;
@@ -212,10 +215,7 @@ mod tests {
         let res = run_until_stable(&mut sim, 1_000_000);
         assert!(res.converged);
         assert_eq!(sim.leaders(), 1);
-        assert_eq!(
-            sim.output_counts()[Output::Follower as usize],
-            63
-        );
+        assert_eq!(sim.output_counts()[Output::Follower as usize], 63);
     }
 
     #[test]

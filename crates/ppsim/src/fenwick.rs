@@ -17,7 +17,11 @@ pub struct Fenwick {
 impl Fenwick {
     /// An all-zero tree over `len` slots.
     pub fn new(len: usize) -> Self {
-        let top_bit = if len == 0 { 0 } else { usize::BITS as usize - 1 - len.leading_zeros() as usize };
+        let top_bit = if len == 0 {
+            0
+        } else {
+            usize::BITS as usize - 1 - len.leading_zeros() as usize
+        };
         Self {
             tree: vec![0; len + 1],
             len,
@@ -98,7 +102,12 @@ impl Fenwick {
     /// `0..total()`, the returned slot is distributed proportionally to the
     /// weights.
     pub fn find(&self, mut target: u64) -> usize {
-        debug_assert!(target < self.total, "target {} >= total {}", target, self.total);
+        debug_assert!(
+            target < self.total,
+            "target {} >= total {}",
+            target,
+            self.total
+        );
         let mut pos = 0usize;
         let mut step = self.top_bit;
         while step > 0 {

@@ -2,7 +2,7 @@
 //!
 //! Every experiment in this repository is "run T independent trials of a
 //! random process and aggregate". Trials are embarrassingly parallel; this
-//! module fans them out over OS threads with crossbeam's scoped threads and a
+//! module fans them out over OS threads with `std::thread::scope` and a
 //! shared atomic work index (simple self-balancing work queue: threads grab
 //! the next trial index when they finish one, so long and short trials mix
 //! freely).
@@ -53,9 +53,9 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 // Collect locally, publish in batches to keep the lock cold.
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
@@ -80,8 +80,7 @@ where
                 }
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
     results
         .into_inner()

@@ -41,8 +41,11 @@ pub trait Protocol {
 
     /// The transition function `δ(responder, initiator) →
     /// (responder', initiator')`.
-    fn transition(&self, responder: Self::State, initiator: Self::State)
-        -> (Self::State, Self::State);
+    fn transition(
+        &self,
+        responder: Self::State,
+        initiator: Self::State,
+    ) -> (Self::State, Self::State);
 
     /// The output mapping of a state.
     fn output(&self, state: Self::State) -> Output;

@@ -324,7 +324,14 @@ mod tests {
         // Deterministic "noise" that is uncorrelated with x.
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 2.0 * x + if (x as u64) % 2 == 0 { 25.0 } else { -25.0 })
+            .map(|&x| {
+                2.0 * x
+                    + if (x as u64).is_multiple_of(2) {
+                        25.0
+                    } else {
+                        -25.0
+                    }
+            })
             .collect();
         let (a, _, r2) = linear_fit(&xs, &ys);
         assert!((a - 2.0).abs() < 0.05);

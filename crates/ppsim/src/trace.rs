@@ -74,10 +74,7 @@ impl Series {
 
     /// Value at the first sample time ≥ `t`, if any (step interpolation).
     pub fn value_at(&self, t: f64) -> Option<f64> {
-        self.t
-            .iter()
-            .position(|&x| x >= t)
-            .map(|idx| self.v[idx])
+        self.t.iter().position(|&x| x >= t).map(|idx| self.v[idx])
     }
 }
 

@@ -50,7 +50,11 @@ fn main() {
     }
 
     let mut t = Table::new([
-        "coin level", "C_l (agents)", "bias (measured)", "bias (idealised)", "1/bias",
+        "coin level",
+        "C_l (agents)",
+        "bias (measured)",
+        "bias (idealised)",
+        "1/bias",
     ]);
     for level in 0..=params.phi {
         let measured = heads[level as usize] as f64 / draws as f64;

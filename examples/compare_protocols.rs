@@ -29,14 +29,17 @@ where
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: u64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1 << 11);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 11);
     let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
 
     println!("Leader election on n = {n} agents ({trials} trials each)\n");
-    let mut t = Table::new(["protocol", "states", "mean time", "median", "asymptotics (paper)"]);
+    let mut t = Table::new([
+        "protocol",
+        "states",
+        "mean time",
+        "median",
+        "asymptotics (paper)",
+    ]);
 
     let s = measure(|_| SlowLe, n.min(1 << 9), trials, 1);
     t.row([

@@ -31,7 +31,14 @@ fn main() {
 
     let mut sim = UrnSim::new(protocol, n, 1234);
 
-    let mut t = Table::new(["interactions", "zero", "X", "coins", "inhibitors", "leaders(alive)"]);
+    let mut t = Table::new([
+        "interactions",
+        "zero",
+        "X",
+        "coins",
+        "inhibitors",
+        "leaders(alive)",
+    ]);
     // 40M interactions ≈ 0.037 parallel time: the very beginning, but
     // 40M urn draws run in seconds.
     for step in 1..=4u64 {

@@ -28,8 +28,16 @@ fn main() {
 
     let mut sim = AgentSim::new(protocol, n as usize, 7);
     let mut t = Table::new([
-        "round", "par.time", "epoch", "active", "passive", "withdrawn", "coins", "junta",
-        "uninit", "max drag",
+        "round",
+        "par.time",
+        "epoch",
+        "active",
+        "passive",
+        "withdrawn",
+        "coins",
+        "junta",
+        "uninit",
+        "max drag",
     ]);
 
     let mut last_phase = 0u16;
@@ -44,10 +52,7 @@ fn main() {
             let epoch = match c.max_cnt {
                 Some(x) if x == params.cnt_init() => "init".to_string(),
                 Some(0) => "final elim".to_string(),
-                Some(x) => format!(
-                    "fast elim (coin {})",
-                    params.coin_for_cnt(x).unwrap_or(0)
-                ),
+                Some(x) => format!("fast elim (coin {})", params.coin_for_cnt(x).unwrap_or(0)),
                 None => "-".to_string(),
             };
             t.row([

@@ -15,9 +15,7 @@ use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppsim::stats::Summary;
 use population_protocols::ppsim::table::{fnum, Table};
-use population_protocols::ppsim::{
-    run_trials, run_until_stable, AgentSim, Protocol, Simulator,
-};
+use population_protocols::ppsim::{run_trials, run_until_stable, AgentSim, Protocol, Simulator};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,7 +94,10 @@ fn cmd_params(args: &[String]) -> i32 {
     println!("clock modulus Γ    = {}", p.gamma);
     println!("fast-elim counter  = {} (2Φ+3)", p.cnt_init());
     println!("state-space size   = {}", p.num_states());
-    println!("expected junta     = {:.1} agents", p.coin_bias(p.phi) * n as f64);
+    println!(
+        "expected junta     = {:.1} agents",
+        p.coin_bias(p.phi) * n as f64
+    );
     let mut coins = String::new();
     for l in 0..=p.phi {
         coins.push_str(&format!("  level {l}: bias {:.3e}", p.coin_bias(l)));
@@ -145,7 +146,15 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let seed = parse_seed(args);
     let protocol = opt(args, "--protocol").unwrap_or("gsu19");
 
-    let mut t = Table::new(["n", "trials", "mean t", "ci95", "median", "t/(lg*lglg)", "t/lg^2"]);
+    let mut t = Table::new([
+        "n",
+        "trials",
+        "mean t",
+        "ci95",
+        "median",
+        "t/(lg*lglg)",
+        "t/lg^2",
+    ]);
     let mut n = lo.max(64);
     while n <= hi {
         let times: Vec<f64> = run_trials(trials, seed, |_, s| {
@@ -191,7 +200,9 @@ fn cmd_sweep(args: &[String]) -> i32 {
 fn cmd_census(args: &[String]) -> i32 {
     let n = parse_n(args);
     let seed = parse_seed(args);
-    let at: f64 = opt(args, "--at").and_then(|v| v.parse().ok()).unwrap_or(100.0);
+    let at: f64 = opt(args, "--at")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100.0);
     let proto = Gsu19::for_population(n);
     let params = *proto.params();
     let mut sim = AgentSim::new(proto, n as usize, seed);

@@ -3,9 +3,7 @@
 
 use population_protocols::baselines::{gsu_no_drag, Bkko18, Gs18, SlowLe};
 use population_protocols::core::{Census, Gsu19};
-use population_protocols::ppsim::{
-    run_until_stable, AgentSim, Output, Simulator, UrnSim,
-};
+use population_protocols::ppsim::{run_until_stable, AgentSim, Output, Simulator, UrnSim};
 
 #[test]
 fn gsu19_elects_unique_leader_agent_sim() {

@@ -1,0 +1,45 @@
+//! Fast engine-equivalence smoke test: both simulators drive both a
+//! constant-state and the paper's protocol to exactly one leader at small
+//! n. The heavier distributional comparison lives in
+//! `engine_equivalence.rs`; this file is the seconds-scale gate that runs
+//! on every `cargo test`.
+
+use population_protocols::baselines::SlowLe;
+use population_protocols::core::Gsu19;
+use population_protocols::ppsim::{run_until_stable, AgentSim, Simulator, UrnSim};
+
+#[test]
+fn slow_le_elects_one_leader_on_both_engines() {
+    let n = 1024u64;
+    let budget = 200 * n * n; // Θ(n) expected parallel time, generous slack
+
+    let mut agent = AgentSim::new(SlowLe, n as usize, 11);
+    assert!(
+        run_until_stable(&mut agent, budget).converged,
+        "agent engine"
+    );
+    assert_eq!(agent.leaders(), 1);
+
+    let mut urn = UrnSim::new(SlowLe, n, 12);
+    assert!(run_until_stable(&mut urn, budget).converged, "urn engine");
+    assert_eq!(urn.leaders(), 1);
+}
+
+#[test]
+fn gsu19_elects_one_leader_on_both_engines() {
+    let n = 512u64;
+    let budget = 60_000 * n;
+
+    let mut agent = AgentSim::new(Gsu19::for_population(n), n as usize, 13);
+    assert!(
+        run_until_stable(&mut agent, budget).converged,
+        "agent engine"
+    );
+    assert_eq!(agent.leaders(), 1);
+    assert_eq!(agent.undecided(), 0);
+
+    let mut urn = UrnSim::new(Gsu19::for_population(n), n, 14);
+    assert!(run_until_stable(&mut urn, budget).converged, "urn engine");
+    assert_eq!(urn.leaders(), 1);
+    assert_eq!(urn.undecided(), 0);
+}

@@ -45,7 +45,10 @@ fn survives_throttled_minority() {
     // A tenth of the agents run at 5% speed forever: time bounds are off
     // the table, correctness is not.
     let n = 256usize;
-    let throttle = Throttle { k: n / 10, rate: 0.05 };
+    let throttle = Throttle {
+        k: n / 10,
+        rate: 0.05,
+    };
     let mut sim = AdversarialSim::new(Gsu19::for_population(n as u64), throttle, n, 3);
     let res = run_until_stable(&mut sim, 400_000 * n as u64);
     assert!(res.converged, "throttled population did not stabilise");

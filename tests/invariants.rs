@@ -2,9 +2,7 @@
 //! the mechanised core of the paper's Lemma 8.1 and of the state-encoding
 //! correctness.
 
-use population_protocols::core::{
-    AgentState, Flip, Gsu19, LeaderMode, Params, Role, StateCodec,
-};
+use population_protocols::core::{AgentState, Flip, Gsu19, LeaderMode, Params, Role, StateCodec};
 use population_protocols::ppsim::Protocol;
 use proptest::prelude::*;
 
@@ -136,7 +134,7 @@ proptest! {
     fn alive_with_dominant_drag_stays_alive(r in arb_alive_leader(), i in arb_state()) {
         let proto = Gsu19::new(params());
         prop_assume!(!is_alive(&i)); // alive-vs-alive is the duel, covered above
-        prop_assume!(drag_of(&i).map_or(true, |d| d <= drag_of(&r).unwrap()));
+        prop_assume!(drag_of(&i).is_none_or(|d| d <= drag_of(&r).unwrap()));
         let (r2, _) = proto.transition(r, i);
         prop_assert!(is_alive(&r2), "{:?} + {:?} -> {:?}", r, i, r2);
     }

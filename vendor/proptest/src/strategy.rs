@@ -1,0 +1,168 @@
+//! The [`Strategy`] trait and the combinators this workspace uses:
+//! ranges, tuples, [`Just`], `prop_map`, boxing and [`OneOf`].
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests. Unlike real proptest there is
+/// no value tree / shrinking; `sample` draws one value.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies — the engine of `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choice among the given strategies.
+    ///
+    /// # Panics
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0, self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H),
+    (A, B, C, D, E, F, G, H, I),
+    (A, B, C, D, E, F, G, H, I, J),
+);

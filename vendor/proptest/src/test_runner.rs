@@ -1,0 +1,141 @@
+//! Config, RNG and error plumbing behind the `proptest!` macro.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// Effective case count: `PROPTEST_CASES` overrides the config so CI
+    /// can bound property-test time globally.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+            .max(1)
+    }
+}
+
+/// Why a test case did not pass: a genuine failure or a `prop_assume!`
+/// rejection.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    reject: bool,
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            reject: false,
+            message: message.into(),
+        }
+    }
+
+    /// A rejected assumption (case is skipped, not failed).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            reject: true,
+            message: message.into(),
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test RNG (xoshiro256++ seeded from the test path).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// RNG whose stream is determined by the test's name (and optionally
+    /// the `PROPTEST_RNG_SEED` environment variable).
+    pub fn for_test(name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        let extra: u64 = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut state = hasher.finish() ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `usize` in `[min, max)`.
+    #[inline]
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min < max);
+        let span = (max - min) as u128;
+        min + (((self.next_u64() as u128) * span) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
