@@ -1,0 +1,64 @@
+//! Experiment ENG-B — batched vs sequential urn sampling (criterion).
+//!
+//! The batched path (`UrnSim::steps_batched`, see `ppsim::batch`) samples
+//! whole blocks of interactions as multinomial pair counts over the urn;
+//! this target measures its per-interaction throughput against the
+//! sequential Fenwick path on the same protocol and population, which is
+//! the acceptance number for the batching work (≥10× at n ≥ 2^20 on
+//! `Gsu19`). The vendored criterion shim reports a median only — quote
+//! these numbers with that caveat (no confidence intervals).
+
+use baselines::SlowLe;
+use core_protocol::Gsu19;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppsim::{BatchPolicy, Simulator, UrnSim};
+
+/// Sequential path: enough steps to dominate timer noise.
+const SEQ_STEPS: u64 = 10_000;
+/// Batched path: whole batches are cheap, so measure many more
+/// interactions per iteration to keep per-iteration wall time comparable.
+const BATCH_STEPS: u64 = 1 << 22;
+
+fn urn_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("urn_sequential");
+    g.throughput(Throughput::Elements(SEQ_STEPS));
+    for npow in [14u32, 20] {
+        let n = 1u64 << npow;
+        g.bench_function(BenchmarkId::new("gsu19", format!("2^{npow}")), |b| {
+            let mut sim = UrnSim::new(Gsu19::for_population(n), n, 1);
+            b.iter(|| sim.steps(SEQ_STEPS));
+        });
+        g.bench_function(BenchmarkId::new("slow", format!("2^{npow}")), |b| {
+            let mut sim = UrnSim::new(SlowLe, n, 1);
+            b.iter(|| sim.steps(SEQ_STEPS));
+        });
+    }
+    g.finish();
+}
+
+fn urn_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("urn_batched");
+    g.throughput(Throughput::Elements(BATCH_STEPS));
+    let policy = BatchPolicy::adaptive();
+    // 2^30 is out of reach for the sequential group but trivial here: the
+    // batch size scales with n, so the per-interaction cost *drops*.
+    for npow in [14u32, 20, 30] {
+        let n = 1u64 << npow;
+        g.bench_function(BenchmarkId::new("gsu19", format!("2^{npow}")), |b| {
+            let mut sim = UrnSim::new(Gsu19::for_population(n), n, 1);
+            b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
+        });
+        g.bench_function(BenchmarkId::new("slow", format!("2^{npow}")), |b| {
+            let mut sim = UrnSim::new(SlowLe, n, 1);
+            b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = urn_sequential, urn_batched
+}
+criterion_main!(benches);

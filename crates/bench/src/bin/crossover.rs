@@ -1,10 +1,20 @@
 //! One-off probe of the GSU19-vs-GS18 crossover region (n = 2^20), used
 //! for the EXPERIMENTS.md discussion of Theorem 8.2: the expected-time gap
 //! closes as n grows (extrapolated crossover ≈ 2^24).
+//!
+//! ```text
+//! crossover [n] [trials] [engine]     engine: agent (default) | urn-batched
+//! ```
+//!
+//! The `urn-batched` engine (see `ppsim::batch`) runs the same probe on the
+//! count-based simulator with batched multinomial sampling, which is the
+//! only way to actually reach the extrapolated crossover (n ≳ 2^24) in
+//! reasonable wall time. Note its stopping times are quantised to batch
+//! boundaries (overshoot ≤ n/64 interactions = 1/64 parallel time).
 
 use baselines::Gs18;
 use core_protocol::Gsu19;
-use ppsim::{run_trials, run_until_stable, AgentSim, Summary};
+use ppsim::{run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, UrnSim};
 
 fn main() {
     let n: u64 = std::env::args()
@@ -15,22 +25,39 @@ fn main() {
         .nth(2)
         .and_then(|a| a.parse().ok())
         .unwrap_or(6);
+    let engine = std::env::args().nth(3).unwrap_or_else(|| "agent".into());
+    assert!(
+        engine == "agent" || engine == "urn-batched",
+        "engine must be agent | urn-batched"
+    );
     for proto in ["gsu19", "gs18"] {
         let times = run_trials(trials, 300, |_, seed| {
-            let res = if proto == "gsu19" {
-                let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
-                run_until_stable(&mut sim, 30_000 * n)
-            } else {
-                let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, seed);
-                run_until_stable(&mut sim, 30_000 * n)
+            let budget = 30_000 * n;
+            let res = match (proto, engine.as_str()) {
+                ("gsu19", "agent") => {
+                    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
+                    run_until_stable(&mut sim, budget)
+                }
+                ("gsu19", _) => {
+                    let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+                    run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget)
+                }
+                (_, "agent") => {
+                    let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, seed);
+                    run_until_stable(&mut sim, budget)
+                }
+                (_, _) => {
+                    let mut sim = UrnSim::new(Gs18::for_population(n), n, seed);
+                    run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget)
+                }
             };
             assert!(res.converged);
             res.parallel_time
         });
-        let s = Summary::of(&times);
+        let s = ppsim::Summary::of(&times);
         let l = (n as f64).log2();
         println!(
-            "{proto} n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
+            "{proto} [{engine}] n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
             l,
             s.mean,
             s.ci95,

@@ -1,0 +1,610 @@
+//! Batched interaction sampling — the urn-batching trick.
+//!
+//! The sequential urn path ([`crate::UrnSim::step`]) pays two Fenwick `find`s
+//! and four `add`s per interaction. Between observation points, whole batches
+//! of interactions can instead be sampled at once: a batch of `b` interactions
+//! touches `2b` agents, and as long as those agents are distinct the batch is
+//! exchangeable — the multiset of (responder, initiator) state pairs is
+//! obtained by drawing `2b` balls from the urn without replacement, splitting
+//! them uniformly into roles, and pairing the two halves uniformly at random.
+//! Each draw reduces to a chain of conditional binomials over the occupied
+//! states, so a batch costs O(occupied states²) sampler calls *total* instead
+//! of O(log |states|) tree walks *per interaction*.
+//!
+//! The approximation relative to the exact sequential chain is that within a
+//! batch (i) no agent interacts twice and (ii) transition outputs do not feed
+//! back into the sampling snapshot. Both effects are O(batch/n) per
+//! interaction, so the [`BatchPolicy`] caps batches at a small fraction of
+//! the population and falls back to per-step sampling for small populations.
+//! The statistical equivalence suite (`tests/engine_equivalence.rs`) gates
+//! the batched path against the sequential engines.
+
+use rand::Rng;
+
+/// Above this expected value the binomial sampler switches from the exact
+/// inverse-CDF walk (cost O(n·p)) to the normal approximation (cost O(1)).
+const BINV_MEAN_CUTOFF: f64 = 48.0;
+
+/// Below this trial count the sampler always uses the exact inverse-CDF walk
+/// regardless of the mean: small draws are cheap to do exactly.
+const BINV_EXACT_N: u64 = 128;
+
+/// Sample from the binomial distribution `Bin(n, p)`.
+///
+/// Exact inverse-CDF ("BINV") when `n` is small or `n·min(p, 1-p)` is below
+/// [`BINV_MEAN_CUTOFF`]; otherwise a normal approximation with continuity
+/// correction whose result is clamped back into the support `0..=n`
+/// (the exactness fallback: an out-of-support normal draw can never produce
+/// an invalid count). `p` outside `[0, 1]` is treated as the nearer bound.
+pub fn binomial<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Exploit symmetry so the exact walk always runs on the small tail.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let mean = n as f64 * p;
+    if n <= BINV_EXACT_N || mean < BINV_MEAN_CUTOFF {
+        binomial_inverse_cdf(rng, n, p)
+    } else {
+        binomial_normal_approx(rng, n, p)
+    }
+}
+
+/// Exact inverse-CDF walk (Kachitvichyanukul & Schmeiser's "BINV").
+///
+/// Walks the probability mass function from 0 upward using the recurrence
+/// `P(x+1) = P(x) · (n-x)/(x+1) · p/q` until the cumulative mass passes a
+/// uniform draw. Expected cost O(1 + n·p). Requires `0 < p ≤ 0.5`.
+fn binomial_inverse_cdf<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n + 1) as f64 * s;
+    // q^n via exp(n ln q): with n·p bounded by the caller this cannot
+    // underflow to a degenerate 0 (e^-48 ≈ 1e-21 ≫ f64::MIN_POSITIVE).
+    let mut f = (n as f64 * q.ln()).exp();
+    let mut u: f64 = rng.gen();
+    let mut x = 0u64;
+    loop {
+        if u <= f {
+            return x;
+        }
+        u -= f;
+        x += 1;
+        if x > n {
+            // Floating-point residue past the end of the support (total mass
+            // summed to slightly below 1); the leftover mass belongs to the
+            // upper tail, whose dominant point under p ≤ 0.5 is near n·p.
+            // Returning n keeps the value in-support; the event has
+            // probability ~1e-15 and is invisible to any statistical gate.
+            return n;
+        }
+        f *= a / x as f64 - s;
+    }
+}
+
+/// Normal approximation with continuity correction, clamped to the support.
+fn binomial_normal_approx<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let mean = n as f64 * p;
+    let sd = (mean * (1.0 - p)).sqrt();
+    let x = (mean + sd * standard_normal(rng) + 0.5).floor();
+    if x <= 0.0 {
+        0
+    } else if x >= n as f64 {
+        n
+    } else {
+        x as u64
+    }
+}
+
+/// Standard normal draw via Box–Muller (one of the pair is discarded; the
+/// batched path consumes normals far too rarely for caching to matter).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // First uniform must avoid 0 for the logarithm; `1 - u` maps [0,1) to
+    // (0,1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos, g = 7, 9 terms; |error| < 1e-13 over the
+/// range used here). Needed to seed the exact hypergeometric walk at
+/// `ln P(0) = ln C(N−K, n) − ln C(N, n)` without an O(n) product.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0);
+    let x = x - 1.0;
+    let mut a = G[0];
+    for (i, &g) in G.iter().enumerate().skip(1) {
+        a += g / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` for `0 ≤ k ≤ n`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Sample from the hypergeometric distribution: the number of marked balls
+/// among `draws` drawn without replacement from an urn of `total` balls of
+/// which `marked` are marked.
+///
+/// This is the marginal the without-replacement batch sampler needs. A
+/// plain binomial is *not* good enough here: when `draws` is comparable to
+/// `total` (the tail rows of the pairing step) the binomial overestimates
+/// the variance by the missing finite-population factor
+/// `(total−draws)/(total−1)`, and the engines' nonlinear dynamics convert
+/// that extra variance into a systematic drift — the engine-equivalence
+/// suite catches exactly this.
+///
+/// Strategy mirroring [`binomial`]: symmetry reductions so the walk runs on
+/// the small tail, then an exact inverse-CDF walk over the PMF (seeded via
+/// [`ln_choose`], advanced by the ratio recurrence) when the mean is small,
+/// and a normal approximation with the exact hypergeometric variance,
+/// continuity correction and support clamping otherwise.
+pub fn hypergeometric<R: Rng>(rng: &mut R, total: u64, marked: u64, draws: u64) -> u64 {
+    debug_assert!(marked <= total && draws <= total);
+    // Degenerate urns.
+    if draws == 0 || marked == 0 {
+        return 0;
+    }
+    if marked == total {
+        return draws;
+    }
+    if draws == total {
+        return marked;
+    }
+    // Symmetry reductions: x ~ H(N, K, n) satisfies
+    //   x ≡ n − H(N, N−K, n)   (complement the marking)
+    //   x ≡ K − H(N, K, N−n)   (complement the sample)
+    // Reduce so both the marked count and the draw count are ≤ N/2, which
+    // pins the lower support bound at 0 and keeps the walk short.
+    if marked * 2 > total {
+        return draws - hypergeometric(rng, total, total - marked, draws);
+    }
+    if draws * 2 > total {
+        return marked - hypergeometric(rng, total, marked, total - draws);
+    }
+    // The marked count and the sample size are exchangeable
+    // (H(N, K, n) ≡ H(N, n, K): both count the overlap of two uniform
+    // subsets of sizes K and n), so run the walk with the smaller of the
+    // two as the sample — the hot path of the batched engine has tiny
+    // per-state multiplicities, making P(0) an O(multiplicity) product.
+    let (nn, kk, n) = (total, marked.max(draws), marked.min(draws));
+    let mean = n as f64 * kk as f64 / nn as f64;
+    if mean < BINV_MEAN_CUTOFF || n <= BINV_EXACT_N {
+        hypergeometric_inverse_cdf(rng, nn, kk, n)
+    } else {
+        hypergeometric_normal_approx(rng, nn, kk, n)
+    }
+}
+
+/// Exact inverse-CDF walk from `x = 0` (valid after the symmetry
+/// reductions of [`hypergeometric`], which pin the support's lower end at
+/// 0). Expected cost O(1 + mean).
+fn hypergeometric_inverse_cdf<R: Rng>(rng: &mut R, total: u64, marked: u64, draws: u64) -> u64 {
+    // P(0) = C(N−K, n) / C(N, n): directly as an O(n) product of
+    // depletion ratios when the sample is small (the common case after the
+    // symmetry swap), via log-gamma otherwise.
+    let mut f = if draws <= 64 {
+        let mut f = 1.0f64;
+        for i in 0..draws {
+            f *= (total - marked - i) as f64 / (total - i) as f64;
+        }
+        f
+    } else {
+        (ln_choose(total - marked, draws) - ln_choose(total, draws)).exp()
+    };
+    let mut u: f64 = rng.gen();
+    let mut x = 0u64;
+    let hi = marked.min(draws);
+    loop {
+        if u <= f {
+            return x;
+        }
+        u -= f;
+        if x >= hi {
+            // Floating-point residue past the top of the support.
+            return hi;
+        }
+        // P(x+1)/P(x) = (K−x)(n−x) / ((x+1)(N−K−n+x+1)).
+        f *= ((marked - x) as f64 * (draws - x) as f64)
+            / ((x + 1) as f64 * (total - marked - draws + x + 1) as f64);
+        x += 1;
+    }
+}
+
+/// Normal approximation with the exact hypergeometric variance
+/// `n·(K/N)·(1−K/N)·(N−n)/(N−1)`, continuity-corrected and clamped into
+/// the support.
+fn hypergeometric_normal_approx<R: Rng>(rng: &mut R, total: u64, marked: u64, draws: u64) -> u64 {
+    let p = marked as f64 / total as f64;
+    let mean = draws as f64 * p;
+    let fpc = (total - draws) as f64 / (total - 1) as f64;
+    let sd = (mean * (1.0 - p) * fpc).sqrt();
+    let x = (mean + sd * standard_normal(rng) + 0.5).floor();
+    let hi = marked.min(draws);
+    if x <= 0.0 {
+        0
+    } else if x >= hi as f64 {
+        hi
+    } else {
+        x as u64
+    }
+}
+
+/// Draw `draws` balls **without replacement** from the pool described by
+/// `pool` (per-slot ball counts summing to `*pool_total`), writing the
+/// per-slot draw counts to `out` and removing the drawn balls from the pool.
+///
+/// Uses the conditional chain of the multivariate hypergeometric: slot by
+/// slot, the number drawn from slot `j` is
+/// `Hypergeometric(total_left, pool[j], draws_left)` — see
+/// [`hypergeometric`] for why the finite-population variance matters —
+/// clamped (belt and braces, against the approximation's normal branch)
+/// into the support
+/// `max(0, draws_left + pool[j] − total_left) ..= min(pool[j], draws_left)`.
+/// The clamp guarantees two invariants the batched engine relies on (and the
+/// property suite checks): the draw counts always sum to exactly `draws`,
+/// and no slot ever yields more balls than it holds.
+///
+/// `out` is cleared and refilled to `pool.len()` entries. Scanning stops as
+/// soon as all draws are assigned; remaining slots are zero-filled.
+///
+/// # Panics
+/// Panics (debug) if `draws > *pool_total` or `*pool_total` disagrees with
+/// the sum of `pool`.
+pub fn draw_without_replacement<R: Rng>(
+    rng: &mut R,
+    draws: u64,
+    pool: &mut [u64],
+    pool_total: &mut u64,
+    out: &mut Vec<u64>,
+) {
+    debug_assert!(draws <= *pool_total, "cannot draw {draws} of {pool_total}");
+    debug_assert_eq!(pool.iter().sum::<u64>(), *pool_total);
+    out.clear();
+    let mut draws_left = draws;
+    let mut total_left = *pool_total;
+    for slot in pool.iter_mut() {
+        if draws_left == 0 {
+            break;
+        }
+        let c = *slot;
+        if c == 0 {
+            out.push(0);
+            continue;
+        }
+        let x = if total_left == c {
+            // Only this slot's mass remains: all outstanding draws land here.
+            draws_left
+        } else {
+            let lo = (draws_left + c).saturating_sub(total_left);
+            let hi = c.min(draws_left);
+            hypergeometric(rng, total_left, c, draws_left).clamp(lo, hi)
+        };
+        out.push(x);
+        *slot -= x;
+        draws_left -= x;
+        total_left -= c;
+    }
+    out.resize(pool.len(), 0);
+    *pool_total -= draws;
+    debug_assert_eq!(draws_left, 0);
+}
+
+/// How a driver schedules interactions between predicate/observation checks.
+///
+/// The policy answers one question — how many interactions may be executed
+/// as one opaque block — and is honoured in two places: the engine
+/// ([`crate::UrnSim::steps_batched`]) uses it to size its internal sampling
+/// batches, and the drivers ([`crate::runner::run_until_with`]) use it as
+/// the predicate-check granularity, so a stopping condition is detected with
+/// overshoot bounded by one batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// One interaction at a time — the exact sequential reference. Drivers
+    /// check predicates after every interaction, engines never batch.
+    PerStep,
+    /// Batches of `population >> shift` interactions, falling back to
+    /// per-step sampling when the population is below `min_population`
+    /// (where batching overhead and the O(batch/n) within-batch
+    /// approximation are not worth it).
+    Adaptive {
+        /// Batch size is `population >> shift`; also the bound on predicate
+        /// overshoot in the drivers. Must keep `2·batch ≤ population`, i.e.
+        /// `shift ≥ 1`.
+        shift: u32,
+        /// Populations strictly below this run per-step.
+        min_population: u64,
+    },
+}
+
+impl BatchPolicy {
+    /// Default batch fraction: 1/64 of the population per batch.
+    ///
+    /// Chosen empirically: the within-batch approximation (no agent
+    /// interacts twice per batch) biases sensitive marginals by
+    /// ~0.1·batch/n, so n/64 keeps the drift under half a percent — inside
+    /// every statistical gate — while per-interaction overhead is still
+    /// dominated by the batch itself, not the per-batch bookkeeping.
+    pub const DEFAULT_SHIFT: u32 = 6;
+    /// Default small-population cutoff for the per-step fallback.
+    pub const DEFAULT_MIN_POPULATION: u64 = 4096;
+
+    /// The default batching configuration
+    /// (`Adaptive { shift: 6, min_population: 4096 }`).
+    pub const fn adaptive() -> Self {
+        BatchPolicy::Adaptive {
+            shift: Self::DEFAULT_SHIFT,
+            min_population: Self::DEFAULT_MIN_POPULATION,
+        }
+    }
+
+    /// Number of interactions to execute as one block for population `n`.
+    /// `1` means per-step sampling.
+    pub fn batch_size(&self, n: u64) -> u64 {
+        match *self {
+            BatchPolicy::PerStep => 1,
+            BatchPolicy::Adaptive {
+                shift,
+                min_population,
+            } => {
+                if n < min_population.max(4) {
+                    1
+                } else {
+                    // shift ≥ 1 keeps 2·batch ≤ n; enforce even for
+                    // hand-built policies.
+                    (n >> shift.max(1)).max(1)
+                }
+            }
+        }
+    }
+
+    /// `true` when this policy never batches, i.e. it is
+    /// [`BatchPolicy::PerStep`] and every block is a single interaction.
+    pub fn is_per_step(&self) -> bool {
+        matches!(self, BatchPolicy::PerStep)
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_degenerate_parameters() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(binomial(&mut rng, 100, -0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_stays_in_support() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &(n, p) in &[(1u64, 0.5), (7, 0.01), (1000, 0.999), (1 << 40, 0.5)] {
+            for _ in 0..200 {
+                assert!(binomial(&mut rng, n, p) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_mean_small_regime() {
+        // Exact inverse-CDF regime: n·p < cutoff.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (n, p, draws) = (100u64, 0.1, 40_000);
+        let sum: u64 = (0..draws).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / draws as f64;
+        // SE of the mean = sqrt(np(1-p)/draws) = 0.015; allow 6 SE.
+        assert!((mean - 10.0).abs() < 0.09, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_normal_regime() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (n, p, draws) = (1u64 << 20, 0.25, 20_000);
+        let expect = n as f64 * p;
+        let sd = (expect * (1.0 - p)).sqrt();
+        let sum: u64 = (0..draws).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / draws as f64;
+        let se = sd / (draws as f64).sqrt();
+        assert!((mean - expect).abs() < 6.0 * se, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn binomial_symmetry_at_high_p() {
+        // p > 0.5 routes through the complement; the mean must come out
+        // right on both sides of the cutoff.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (n, p, draws) = (300u64, 0.9, 30_000);
+        let sum: u64 = (0..draws).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / draws as f64;
+        assert!((mean - 270.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn ln_choose_matches_direct_computation() {
+        // C(10, 3) = 120, C(52, 5) = 2_598_960.
+        assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_parameters() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(hypergeometric(&mut rng, 100, 40, 0), 0);
+        assert_eq!(hypergeometric(&mut rng, 100, 0, 30), 0);
+        assert_eq!(hypergeometric(&mut rng, 100, 100, 30), 30);
+        assert_eq!(hypergeometric(&mut rng, 100, 40, 100), 40);
+    }
+
+    #[test]
+    fn hypergeometric_stays_in_support() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for &(nn, kk, n) in &[
+            (10u64, 5u64, 5u64),
+            (100, 90, 60), // both symmetry reductions fire
+            (1 << 20, 1 << 10, 1 << 19),
+            (1 << 20, 1 << 19, 1 << 18), // normal branch
+        ] {
+            let lo = (n + kk).saturating_sub(nn);
+            let hi = kk.min(n);
+            for _ in 0..300 {
+                let x = hypergeometric(&mut rng, nn, kk, n);
+                assert!(
+                    (lo..=hi).contains(&x),
+                    "H({nn}, {kk}, {n}) = {x} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeometric_mean_and_variance() {
+        // The finite-population correction is the whole point of this
+        // sampler: check both moments against the exact formulas in a
+        // regime where draws ≈ total/2 (binomial variance would be ~2×
+        // too large and fail the variance band).
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (nn, kk, n) = (10_000u64, 3_000u64, 5_000u64);
+        let p = kk as f64 / nn as f64;
+        let expect_mean = n as f64 * p;
+        let expect_var = n as f64 * p * (1.0 - p) * ((nn - n) as f64 / (nn - 1) as f64);
+        let reps = 20_000;
+        let xs: Vec<f64> = (0..reps)
+            .map(|_| hypergeometric(&mut rng, nn, kk, n) as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / reps as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (reps - 1) as f64;
+        let se = (expect_var / reps as f64).sqrt();
+        assert!(
+            (mean - expect_mean).abs() < 6.0 * se,
+            "mean {mean} vs {expect_mean}"
+        );
+        let rel = (var - expect_var).abs() / expect_var;
+        assert!(rel < 0.10, "var {var} vs {expect_var} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn hypergeometric_exact_branch_matches_pmf() {
+        // Small case with a hand-computable PMF: N=6, K=3, n=2 →
+        // P(0)=1/5, P(1)=3/5, P(2)=1/5.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut counts = [0u64; 3];
+        let reps = 60_000;
+        for _ in 0..reps {
+            counts[hypergeometric(&mut rng, 6, 3, 2) as usize] += 1;
+        }
+        for (x, &expect) in [0.2f64, 0.6, 0.2].iter().enumerate() {
+            let obs = counts[x] as f64 / reps as f64;
+            assert!((obs - expect).abs() < 0.01, "P({x}) = {obs} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn draw_without_replacement_exhausts_pool() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut pool = vec![5u64, 0, 3, 2];
+        let mut total = 10;
+        let mut out = Vec::new();
+        draw_without_replacement(&mut rng, 10, &mut pool, &mut total, &mut out);
+        assert_eq!(out, vec![5, 0, 3, 2]);
+        assert_eq!(pool, vec![0, 0, 0, 0]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn draw_without_replacement_invariants() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for draws in [0u64, 1, 17, 50, 99] {
+            let mut pool = vec![10u64, 0, 25, 1, 64];
+            let snapshot = pool.clone();
+            let mut total = 100;
+            let mut out = Vec::new();
+            draw_without_replacement(&mut rng, draws, &mut pool, &mut total, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), draws);
+            assert_eq!(total, 100 - draws);
+            for (j, (&x, &c)) in out.iter().zip(&snapshot).enumerate() {
+                assert!(x <= c, "slot {j} drew {x} of {c}");
+                assert_eq!(pool[j], c - x);
+            }
+        }
+    }
+
+    #[test]
+    fn draw_without_replacement_is_proportional() {
+        // Marginal of slot j over many draws must track c_j · draws / total.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let weights = [1000u64, 3000, 6000];
+        let (draws, reps) = (100u64, 3000);
+        let mut sums = [0u64; 3];
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            let mut pool = weights.to_vec();
+            let mut total = 10_000;
+            draw_without_replacement(&mut rng, draws, &mut pool, &mut total, &mut out);
+            for (s, &x) in sums.iter_mut().zip(&out) {
+                *s += x;
+            }
+        }
+        for (j, &s) in sums.iter().enumerate() {
+            let expect = reps as f64 * draws as f64 * weights[j] as f64 / 10_000.0;
+            let rel = (s as f64 - expect).abs() / expect;
+            assert!(rel < 0.05, "slot {j}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn policy_batch_sizes() {
+        assert_eq!(BatchPolicy::PerStep.batch_size(1 << 20), 1);
+        let p = BatchPolicy::adaptive();
+        assert_eq!(p.batch_size(1 << 20), 1 << 14);
+        assert_eq!(p.batch_size(100), 1); // below min_population
+        let tiny = BatchPolicy::Adaptive {
+            shift: 0, // invalid: clamped to 1 so 2·batch ≤ n
+            min_population: 2,
+        };
+        assert_eq!(tiny.batch_size(8), 4);
+    }
+
+    #[test]
+    fn default_policy_is_adaptive() {
+        assert_eq!(BatchPolicy::default(), BatchPolicy::adaptive());
+        assert!(!BatchPolicy::default().is_per_step());
+        assert!(BatchPolicy::PerStep.is_per_step());
+    }
+}

@@ -30,6 +30,14 @@
 //! Both produce statistically identical processes; the integration test suite
 //! checks this by comparing convergence-time distributions.
 //!
+//! On top of the sequential path, [`UrnSim`] offers a **batched** sampling
+//! mode ([`UrnSim::steps_batched`], module [`batch`]): whole blocks of
+//! interactions are drawn as multinomial pair counts over the current urn,
+//! turning O(log |states|) tree walks per interaction into a handful of
+//! binomial draws per *batch*. Drivers accept a [`batch::BatchPolicy`]
+//! (`run_until_with`, `run_until_stable_with`, `sample_every_with`) that
+//! bounds predicate-check overshoot by one batch.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -57,6 +65,7 @@
 
 pub mod adversary;
 pub mod agent_sim;
+pub mod batch;
 pub mod fenwick;
 pub mod parallel;
 pub mod protocol;
@@ -69,14 +78,18 @@ pub mod urn;
 
 pub use adversary::{AdversarialSim, Blackout, Perturbation, Throttle};
 pub use agent_sim::AgentSim;
+pub use batch::BatchPolicy;
 pub use fenwick::Fenwick;
 pub use parallel::{run_trials, run_trials_threads};
 pub use protocol::{EnumerableProtocol, Output, Protocol, Simulator};
 pub use rng::{split_seed, trial_seeds};
-pub use runner::{run_until, run_until_stable, sample_every, RunResult};
+pub use runner::{
+    run_until, run_until_stable, run_until_stable_with, run_until_with, sample_every,
+    sample_every_with, RunResult,
+};
 pub use stats::{
-    bootstrap_mean_ci, geometric_mean, linear_fit, mean, mean_ci95, median, quantile, std_dev,
-    Histogram, Summary,
+    bootstrap_mean_ci, chi_square_stat, geometric_mean, ks_critical, ks_statistic, linear_fit,
+    mean, mean_ci95, median, quantile, std_dev, Histogram, Summary,
 };
 pub use trace::Series;
 pub use urn::UrnSim;
@@ -84,9 +97,13 @@ pub use urn::UrnSim;
 /// Convenience prelude: `use ppsim::prelude::*;`.
 pub mod prelude {
     pub use crate::agent_sim::AgentSim;
+    pub use crate::batch::BatchPolicy;
     pub use crate::parallel::run_trials;
     pub use crate::protocol::{EnumerableProtocol, Output, Protocol, Simulator};
-    pub use crate::runner::{run_until, run_until_stable, sample_every, RunResult};
+    pub use crate::runner::{
+        run_until, run_until_stable, run_until_stable_with, run_until_with, sample_every,
+        sample_every_with, RunResult,
+    };
     pub use crate::stats::Summary;
     pub use crate::urn::UrnSim;
 }

@@ -7,15 +7,32 @@
 //! the next trial index when they finish one, so long and short trials mix
 //! freely).
 //!
+//! Result publication is lock-free: every trial owns a pre-allocated output
+//! slot indexed by its trial number, so a finishing thread writes its result
+//! directly into place — no mutex, no batching, no reordering. Claiming a
+//! trial index through the atomic work counter is what makes the slot write
+//! exclusive, and the `thread::scope` join is what makes it visible to the
+//! collecting thread.
+//!
 //! Determinism: trial `i` always receives seed `split_seed(master, i)`
 //! regardless of which thread runs it or in what order, so results are
 //! reproducible across machines and thread counts.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
-
 use crate::rng::split_seed;
+
+/// One output slot, written at most once by the thread that claimed the
+/// trial index owning it.
+///
+/// The `Sync` impl is sound because slot access is partitioned by the
+/// work-queue counter: `fetch_add` hands each index to exactly one thread,
+/// so no two threads ever touch the same slot, and the spawning scope's
+/// join synchronises all writes before the collector reads.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Run `trials` independent trials of `f` across all available cores and
 /// return the results ordered by trial index.
@@ -51,41 +68,27 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+    let slots: Vec<Slot<T>> = (0..trials).map(|_| Slot(UnsafeCell::new(None))).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| {
-                // Collect locally, publish in batches to keep the lock cold.
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trials {
-                        break;
-                    }
-                    let out = f(i, split_seed(master_seed, i as u64));
-                    local.push((i, out));
-                    if local.len() >= 8 {
-                        let mut guard = results.lock();
-                        for (idx, v) in local.drain(..) {
-                            guard[idx] = Some(v);
-                        }
-                    }
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
                 }
-                if !local.is_empty() {
-                    let mut guard = results.lock();
-                    for (idx, v) in local.drain(..) {
-                        guard[idx] = Some(v);
-                    }
-                }
+                let out = f(i, split_seed(master_seed, i as u64));
+                // SAFETY: `fetch_add` handed index `i` to this thread alone,
+                // so this is the only write to slot `i`; the scope join
+                // publishes it to the collector below.
+                unsafe { *slots[i].0.get() = Some(out) };
             });
         }
     });
 
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|v| v.expect("missing trial result"))
+        .map(|s| s.0.into_inner().expect("missing trial result"))
         .collect()
 }
 
@@ -131,6 +134,31 @@ mod tests {
     fn more_threads_than_trials_is_fine() {
         let out = run_trials_threads(3, 5, 64, |i, _| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lock_free_slots_lose_nothing_under_contention() {
+        // Many more trials than threads, trial durations deliberately
+        // skewed so fast threads lap slow ones: every slot must still hold
+        // exactly its own trial's result, in order, for odd thread counts
+        // and non-Copy payloads alike.
+        for threads in [2usize, 3, 7, 32] {
+            let out = run_trials_threads(997, 11, threads, |i, seed| {
+                let spin = if i % 13 == 0 { 20_000 } else { 10 };
+                let mut x = seed;
+                for _ in 0..spin {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                }
+                format!("{i}:{x}")
+            });
+            assert_eq!(out.len(), 997, "threads={threads}");
+            for (i, v) in out.iter().enumerate() {
+                assert!(
+                    v.starts_with(&format!("{i}:")),
+                    "threads={threads}: slot {i} holds {v}"
+                );
+            }
+        }
     }
 
     #[test]

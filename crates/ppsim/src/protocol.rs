@@ -95,6 +95,18 @@ pub trait Simulator {
         }
     }
 
+    /// Execute exactly `k` interactions, batching internally where the
+    /// engine supports it.
+    ///
+    /// The default ignores the policy and runs `k` sequential steps;
+    /// [`crate::UrnSim`] overrides this with its multinomial batch sampler
+    /// (see [`crate::batch`]). Drivers call this so that any engine can be
+    /// driven under any [`BatchPolicy`].
+    fn steps_bulk(&mut self, k: u64, policy: &crate::batch::BatchPolicy) {
+        let _ = policy;
+        self.steps(k);
+    }
+
     /// Number of agents per [`Output`] value, indexed by `Output as usize`.
     /// Maintained incrementally; O(1) to read.
     fn output_counts(&self) -> [u64; NUM_OUTPUTS];

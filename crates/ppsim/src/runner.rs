@@ -1,6 +1,17 @@
 //! Drivers: run a simulation until stabilisation (or a budget), optionally
 //! sampling observables along the way.
+//!
+//! Every driver comes in two flavours: the classic form (`run_until`,
+//! `run_until_stable`, `sample_every`) checks its predicate after every
+//! single interaction — the exact sequential reference — and a `_with` form
+//! that takes a [`BatchPolicy`] and lets the engine execute whole batches
+//! between checks. Under a batching policy, stopping predicates are
+//! evaluated at batch boundaries only, so the reported stopping time can
+//! overshoot the first-hit time by at most one batch
+//! (`policy.batch_size(n)` interactions, i.e. 1/64 of a parallel time unit
+//! under the default policy).
 
+use crate::batch::BatchPolicy;
 use crate::protocol::Simulator;
 
 /// Result of driving a simulation to a stopping condition.
@@ -14,12 +25,18 @@ pub struct RunResult {
     pub parallel_time: f64,
 }
 
-/// Run until `pred(sim)` holds or `max_interactions` have been executed.
+/// Run until `pred(sim)` holds or `max_interactions` have been executed,
+/// scheduling interactions between predicate checks according to `policy`.
 ///
-/// The predicate is evaluated after every interaction (the engines keep the
-/// relevant counters incrementally, so this is O(1) per step).
-pub fn run_until<S: Simulator>(
+/// Under [`BatchPolicy::PerStep`] the predicate is evaluated after every
+/// interaction (the engines keep the relevant counters incrementally, so
+/// this is O(1) per step) and the reported stopping time is the exact first
+/// hit. Under a batching policy, checks happen at batch boundaries: the
+/// stopping time overshoots the first hit by at most one batch, and the run
+/// still never exceeds the budget.
+pub fn run_until_with<S: Simulator>(
     sim: &mut S,
+    policy: &BatchPolicy,
     max_interactions: u64,
     mut pred: impl FnMut(&S) -> bool,
 ) -> RunResult {
@@ -40,8 +57,34 @@ pub fn run_until<S: Simulator>(
                 parallel_time: sim.parallel_time(),
             };
         }
-        sim.step();
+        let chunk = policy
+            .batch_size(sim.population())
+            .min(budget - sim.interactions());
+        sim.steps_bulk(chunk, policy);
     }
+}
+
+/// Run until `pred(sim)` holds or `max_interactions` have been executed.
+///
+/// Per-step form of [`run_until_with`]: the predicate is evaluated after
+/// every interaction, so the reported stopping time is the exact first hit.
+pub fn run_until<S: Simulator>(
+    sim: &mut S,
+    max_interactions: u64,
+    pred: impl FnMut(&S) -> bool,
+) -> RunResult {
+    run_until_with(sim, &BatchPolicy::PerStep, max_interactions, pred)
+}
+
+/// Run until the configuration is stably elected (exactly one leader, no
+/// undecided agents) or the interaction budget is exhausted, scheduling
+/// according to `policy` (see [`run_until_with`] for overshoot semantics).
+pub fn run_until_stable_with<S: Simulator>(
+    sim: &mut S,
+    policy: &BatchPolicy,
+    max_interactions: u64,
+) -> RunResult {
+    run_until_with(sim, policy, max_interactions, |s| s.is_stably_elected())
 }
 
 /// Run until the configuration is stably elected (exactly one leader, no
@@ -51,16 +94,18 @@ pub fn run_until<S: Simulator>(
 /// is non-increasing once roles have settled, so the first time the predicate
 /// holds is the stabilisation time (see `Simulator::is_stably_elected`).
 pub fn run_until_stable<S: Simulator>(sim: &mut S, max_interactions: u64) -> RunResult {
-    run_until(sim, max_interactions, |s| s.is_stably_elected())
+    run_until_stable_with(sim, &BatchPolicy::PerStep, max_interactions)
 }
 
 /// Run for exactly `total_interactions`, invoking `observe` every
-/// `every_interactions` (and once at the start and once at the end).
+/// `every_interactions` (and once at the start and once at the end), letting
+/// the engine batch according to `policy` *within* each observation window.
 ///
-/// Returns the number of observations made. Used by the figure benches to
-/// record trajectories such as "active leader candidates per round".
-pub fn sample_every<S: Simulator>(
+/// Observation points are exact — a batch never crosses an observation
+/// boundary, the engine simply splits its last batch of each window.
+pub fn sample_every_with<S: Simulator>(
     sim: &mut S,
+    policy: &BatchPolicy,
     total_interactions: u64,
     every_interactions: u64,
     mut observe: impl FnMut(&S),
@@ -73,12 +118,32 @@ pub fn sample_every<S: Simulator>(
     let end = sim.interactions() + total_interactions;
     while sim.interactions() < end {
         let chunk = (next.min(end)) - sim.interactions();
-        sim.steps(chunk);
+        sim.steps_bulk(chunk, policy);
         observe(sim);
         samples += 1;
         next += every_interactions;
     }
     samples
+}
+
+/// Run for exactly `total_interactions`, invoking `observe` every
+/// `every_interactions` (and once at the start and once at the end).
+///
+/// Returns the number of observations made. Used by the figure benches to
+/// record trajectories such as "active leader candidates per round".
+pub fn sample_every<S: Simulator>(
+    sim: &mut S,
+    total_interactions: u64,
+    every_interactions: u64,
+    observe: impl FnMut(&S),
+) -> usize {
+    sample_every_with(
+        sim,
+        &BatchPolicy::PerStep,
+        total_interactions,
+        every_interactions,
+        observe,
+    )
 }
 
 #[cfg(test)]

@@ -225,6 +225,90 @@ pub fn bootstrap_mean_ci(xs: &[f64], resamples: usize, alpha: f64, seed: u64) ->
     )
 }
 
+/// Two-sample Kolmogorov–Smirnov statistic: the largest vertical distance
+/// between the empirical CDFs of `a` and `b`.
+///
+/// Used by the engine-equivalence suite to gate the batched sampler against
+/// the sequential reference: under the null (same distribution) the
+/// statistic stays below [`ks_critical`] with probability `1 − α`.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample in KS test");
+    let sort = |xs: &[f64]| {
+        let mut v = xs.to_vec();
+        v.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+        v
+    };
+    let (a, b) = (sort(a), sort(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() || j < b.len() {
+        // Next jump point of either empirical CDF. Drain the *whole* tie
+        // block from both samples before measuring: evaluating mid-jump
+        // would inflate D for values present in both samples (exactly the
+        // shape batch-quantised stopping times produce).
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!(),
+        };
+        while i < a.len() && a[i] == v {
+            i += 1;
+        }
+        while j < b.len() && b[j] == v {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Critical value of the two-sample KS statistic at significance `alpha`
+/// (asymptotic formula `c(α)·√((n₁+n₂)/(n₁·n₂))`,
+/// `c(α) = √(−ln(α/2)/2)`). Reject equality when
+/// [`ks_statistic`]` > ks_critical`.
+pub fn ks_critical(n1: usize, n2: usize, alpha: f64) -> f64 {
+    assert!(n1 > 0 && n2 > 0, "empty sample in KS critical value");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n1 + n2) as f64) / ((n1 * n2) as f64)).sqrt()
+}
+
+/// Pearson chi-square homogeneity statistic for two observed count vectors
+/// over the same categories. Returns `(statistic, degrees_of_freedom)`;
+/// dof is `non-empty categories − 1`. Categories empty in both samples are
+/// skipped.
+///
+/// Under the null (both samples drawn from one categorical distribution)
+/// the statistic is asymptotically χ²(dof); the equivalence tests compare
+/// it against a generous quantile so deterministic seeds stay green.
+///
+/// # Panics
+/// Panics if the vectors differ in length or either sums to zero.
+pub fn chi_square_stat(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len(), "mismatched category counts");
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    assert!(ta > 0 && tb > 0, "empty sample in chi-square test");
+    let (ta, tb) = (ta as f64, tb as f64);
+    let mut stat = 0.0;
+    let mut dof = 0usize;
+    for (&oa, &ob) in a.iter().zip(b) {
+        let pooled = oa + ob;
+        if pooled == 0 {
+            continue;
+        }
+        dof += 1;
+        let ea = ta * pooled as f64 / (ta + tb);
+        let eb = tb * pooled as f64 / (ta + tb);
+        stat += (oa as f64 - ea).powi(2) / ea + (ob as f64 - eb).powi(2) / eb;
+    }
+    (stat, dof.saturating_sub(1))
+}
+
 /// Geometric mean of strictly positive samples; `NaN` on empty input.
 pub fn geometric_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -417,6 +501,116 @@ mod tests {
     fn bootstrap_ci_degenerate_inputs() {
         let (lo, hi) = bootstrap_mean_ci(&[5.0], 100, 0.05, 1);
         assert_eq!((lo, hi), (5.0, 5.0));
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((ks_statistic(&b, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_small_case() {
+        // a = {1,3}, b = {2,4}: CDFs differ by 1/2 everywhere between jumps.
+        let a = [1.0, 3.0];
+        let b = [2.0, 4.0];
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_handles_ties_across_samples() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 2.0, 2.0];
+        let d = ks_statistic(&a, &b);
+        // At x = 1: |1/4 - 0| = 0.25; at 2: |3/4 - 1| = 0.25;
+        // at 3: |1 - 1| = 0. Max = 0.25.
+        assert!((d - 0.25).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_tied_identical_samples_are_zero_distance() {
+        // Both CDFs jump at the same points by the same total mass: D must
+        // be exactly 0, no matter how the mass splits into repeats. (A
+        // mid-jump evaluation bug would report 0.75 for the first case.)
+        assert_eq!(ks_statistic(&[1.0, 1.0, 1.0, 1.0], &[1.0]), 0.0);
+        assert_eq!(
+            ks_statistic(&[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], &[1.0, 2.0]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ks_exhausted_sample_tail_still_measured() {
+        // All of `a` sits below all of `b`'s tail: the max gap occurs
+        // after `a` is exhausted.
+        let a = [1.0, 2.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let d = ks_statistic(&a, &b);
+        // At x = 2: |1 - 2/8| = 0.75.
+        assert!((d - 0.75).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_critical_shrinks_with_sample_size() {
+        let c_small = ks_critical(10, 10, 0.01);
+        let c_big = ks_critical(1000, 1000, 0.01);
+        assert!(c_big < c_small);
+        // Stricter alpha needs a larger distance to reject.
+        assert!(ks_critical(10, 10, 0.001) > ks_critical(10, 10, 0.05));
+    }
+
+    #[test]
+    fn ks_same_distribution_stays_under_critical() {
+        // Two deterministic streams from the same uniform distribution.
+        let mut s1 = 7u64;
+        let mut s2 = 99u64;
+        let draw = |s: &mut u64| {
+            (0..200)
+                .map(|_| (crate::rng::splitmix64(s) >> 11) as f64 / (1u64 << 53) as f64)
+                .collect::<Vec<_>>()
+        };
+        let a = draw(&mut s1);
+        let b = draw(&mut s2);
+        assert!(ks_statistic(&a, &b) < ks_critical(200, 200, 0.001));
+    }
+
+    #[test]
+    fn chi_square_identical_counts_is_zero() {
+        let a = [10u64, 20, 30];
+        let (stat, dof) = chi_square_stat(&a, &a);
+        assert!(stat.abs() < 1e-12);
+        assert_eq!(dof, 2);
+    }
+
+    #[test]
+    fn chi_square_skips_jointly_empty_categories() {
+        let a = [10u64, 0, 30, 0];
+        let b = [12u64, 0, 28, 0];
+        let (_, dof) = chi_square_stat(&a, &b);
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    fn chi_square_detects_gross_difference() {
+        let a = [100u64, 0];
+        let b = [0u64, 100];
+        let (stat, dof) = chi_square_stat(&a, &b);
+        assert_eq!(dof, 1);
+        assert!(stat > 100.0, "stat = {stat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn ks_rejects_empty() {
+        ks_statistic(&[], &[1.0]);
     }
 
     #[test]

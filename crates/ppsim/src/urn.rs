@@ -16,8 +16,33 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::batch::{draw_without_replacement, hypergeometric, BatchPolicy};
 use crate::fenwick::Fenwick;
 use crate::protocol::{EnumerableProtocol, Output, Simulator, NUM_OUTPUTS};
+
+/// Reusable buffers for [`UrnSim::step_batch`], kept across batches so the
+/// batched path never allocates in steady state.
+#[derive(Clone, Debug, Default)]
+struct BatchScratch {
+    /// Ids of states with non-zero multiplicity at the batch snapshot.
+    occupied: Vec<usize>,
+    /// Multiplicities of `occupied` (parallel array), consumed as agents are
+    /// drawn out of the snapshot.
+    pool: Vec<u64>,
+    /// Responder draw counts per occupied slot.
+    responders: Vec<u64>,
+    /// Initiator draw counts per occupied slot.
+    initiators: Vec<u64>,
+    /// Compact (occupied slot, remaining count) list of initiator mass,
+    /// consumed during pairing. At most `batch` entries, so pairing never
+    /// scans the full occupied set per row.
+    init_nz: Vec<(u32, u64)>,
+    /// Net multiplicity change per state id accumulated over the batch
+    /// (dense, zeroed after each apply).
+    delta: Vec<i64>,
+    /// State ids with possibly non-zero `delta` (may contain duplicates).
+    touched: Vec<usize>,
+}
 
 /// Urn simulator over an [`EnumerableProtocol`].
 pub struct UrnSim<P: EnumerableProtocol> {
@@ -25,6 +50,16 @@ pub struct UrnSim<P: EnumerableProtocol> {
     /// Weighted sampling structure; weight of slot `id` = multiplicity of the
     /// state with that id.
     urn: Fenwick,
+    /// Dense mirror of the urn weights: `counts[id]` = multiplicity of state
+    /// `id`. Kept in lock-step with `urn`; the batched path reads and
+    /// updates it directly and replays net changes into the Fenwick tree.
+    counts: Vec<u64>,
+    /// Ids of states with non-zero multiplicity, in insertion order
+    /// (deterministic, not sorted). Maintained incrementally so the batched
+    /// path's per-batch overhead is O(occupied), not O(|states|).
+    occupied_ids: Vec<usize>,
+    /// Position of each id in `occupied_ids` (`u32::MAX` when absent).
+    occupied_pos: Vec<u32>,
     /// Cached decode table: `state_of[id]` = the state with id `id`.
     state_of: Vec<P::State>,
     /// Cached output per state id.
@@ -33,6 +68,7 @@ pub struct UrnSim<P: EnumerableProtocol> {
     rng: SmallRng,
     interactions: u64,
     output_counts: [u64; NUM_OUTPUTS],
+    scratch: BatchScratch,
 }
 
 impl<P: EnumerableProtocol> UrnSim<P> {
@@ -61,17 +97,46 @@ impl<P: EnumerableProtocol> UrnSim<P> {
         assert!(init_id < s, "initial state id out of range");
         let mut urn = Fenwick::new(s);
         urn.add(init_id, n as i64);
+        let mut counts = vec![0u64; s];
+        counts[init_id] = n;
+        let mut occupied_pos = vec![u32::MAX; s];
+        occupied_pos[init_id] = 0;
         let mut output_counts = [0u64; NUM_OUTPUTS];
         output_counts[protocol.output(init) as usize] = n;
         Self {
             protocol,
             urn,
+            counts,
+            occupied_ids: vec![init_id],
+            occupied_pos,
             state_of,
             output_of,
             population: n,
             rng: SmallRng::seed_from_u64(seed),
             interactions: 0,
             output_counts,
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Apply a multiplicity change to state `id` in both count structures
+    /// and the occupancy index (but not the Fenwick tree — callers pair
+    /// this with `urn.add`).
+    #[inline]
+    fn add_count(&mut self, id: usize, delta: i64) {
+        let old = self.counts[id];
+        let new = (old as i64 + delta) as u64;
+        self.counts[id] = new;
+        if old == 0 && new > 0 {
+            self.occupied_pos[id] = self.occupied_ids.len() as u32;
+            self.occupied_ids.push(id);
+        } else if old > 0 && new == 0 {
+            let pos = self.occupied_pos[id] as usize;
+            self.occupied_ids.swap_remove(pos);
+            self.occupied_pos[id] = u32::MAX;
+            if pos < self.occupied_ids.len() {
+                self.occupied_pos[self.occupied_ids[pos]] = pos as u32;
+            }
         }
     }
 
@@ -88,10 +153,12 @@ impl<P: EnumerableProtocol> UrnSim<P> {
         // Rebuild the urn from the explicit configuration.
         let init_id = sim.protocol.state_id(sim.protocol.initial_state());
         sim.urn.add(init_id, -(n as i64));
+        sim.add_count(init_id, -(n as i64));
         sim.output_counts = [0; NUM_OUTPUTS];
         for &(s, c) in counts {
             let id = sim.protocol.state_id(s);
             sim.urn.add(id, c as i64);
+            sim.add_count(id, c as i64);
             sim.output_counts[sim.protocol.output(s) as usize] += c;
         }
         sim
@@ -99,7 +166,7 @@ impl<P: EnumerableProtocol> UrnSim<P> {
 
     /// Multiplicity of the state with id `id`.
     pub fn count_of_id(&self, id: usize) -> u64 {
-        self.urn.get(id)
+        self.counts[id]
     }
 
     /// The protocol instance driving this simulation.
@@ -109,12 +176,180 @@ impl<P: EnumerableProtocol> UrnSim<P> {
 
     /// All (state, multiplicity) pairs with non-zero multiplicity.
     pub fn nonzero_counts(&self) -> Vec<(P::State, u64)> {
-        (0..self.state_of.len())
-            .filter_map(|id| {
-                let c = self.urn.get(id);
-                (c > 0).then(|| (self.state_of[id], c))
-            })
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(id, &c)| (self.state_of[id], c))
             .collect()
+    }
+
+    /// Execute `k` interactions, sampling whole batches at once where
+    /// `policy` allows it.
+    ///
+    /// Equivalent in distribution (up to the O(batch/n) within-batch
+    /// approximation documented in [`crate::batch`]) to `k` calls of
+    /// [`Simulator::step`], but orders of magnitude faster on large
+    /// populations: a batch of `b` interactions is sampled as one multiset of
+    /// (responder, initiator) state pairs and the transition is applied per
+    /// pair-bucket in bulk. Falls back to per-step sampling whenever the
+    /// policy's batch size is 1 (per-step policy, small population) or fewer
+    /// than 4 interactions remain to be scheduled in a block.
+    ///
+    /// Deterministic: a fixed (seed, `k`, `policy`) triple always produces
+    /// the same configuration. Note the RNG consumption differs from the
+    /// sequential path's, so batched and per-step runs of the same seed are
+    /// different (equally valid) samples of the process.
+    pub fn steps_batched(&mut self, k: u64, policy: &BatchPolicy) {
+        let mut left = k;
+        while left > 0 {
+            let b = policy.batch_size(self.population).min(left);
+            // Batches need 2b ≤ n distinct agents; tiny remainders are
+            // cheaper sequentially than through the batch machinery.
+            if b < 4 || 2 * b > self.population {
+                self.step();
+                left -= 1;
+                continue;
+            }
+            self.step_batch(b);
+            left -= b;
+        }
+    }
+
+    /// Sample and apply one batch of exactly `b` interactions (`2b ≤ n`).
+    ///
+    /// 1. Snapshot the occupied states.
+    /// 2. Draw `b` responders, then `b` initiators, without replacement.
+    /// 3. Pair the two halves uniformly: for each responder state, distribute
+    ///    its draws over the remaining initiator multiset.
+    /// 4. Apply `δ` once per (responder, initiator) bucket and replay the net
+    ///    multiplicity changes into the Fenwick tree.
+    fn step_batch(&mut self, b: u64) {
+        debug_assert!(b >= 1 && 2 * b <= self.population);
+        // Detach the scratch buffers so the borrow checker lets the apply
+        // phase call back into `self`; Vec capacities survive the round trip.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.delta.resize(self.counts.len(), 0);
+
+        // 1. Snapshot occupied states into parallel (id, multiplicity)
+        //    arrays — O(occupied), thanks to the incremental occupancy index.
+        scratch.occupied.clear();
+        scratch.pool.clear();
+        for &id in &self.occupied_ids {
+            scratch.occupied.push(id);
+            scratch.pool.push(self.counts[id]);
+        }
+
+        // 2. Roles: b responders, then b initiators from the rest. The
+        //    without-replacement draws make the batch an exchangeable block
+        //    of 2b distinct agents.
+        let mut pool_total = self.population;
+        draw_without_replacement(
+            &mut self.rng,
+            b,
+            &mut scratch.pool,
+            &mut pool_total,
+            &mut scratch.responders,
+        );
+        draw_without_replacement(
+            &mut self.rng,
+            b,
+            &mut scratch.pool,
+            &mut pool_total,
+            &mut scratch.initiators,
+        );
+        for (j, &id) in scratch.occupied.iter().enumerate() {
+            let removed = scratch.responders[j] + scratch.initiators[j];
+            if removed > 0 {
+                scratch.delta[id] -= removed as i64;
+                scratch.touched.push(id);
+            }
+        }
+
+        // 3 + 4. Uniform pairing row by row, applying δ per bucket. The
+        // initiator mass lives in a compact (slot, count) list — at most b
+        // entries, lazily compacted as slots exhaust — so a row's
+        // conditional chain only visits slots that can still supply
+        // partners.
+        scratch.init_nz.clear();
+        for (jj, &c) in scratch.initiators.iter().enumerate() {
+            if c > 0 {
+                scratch.init_nz.push((jj as u32, c));
+            }
+        }
+        let mut initiators_left = b;
+        for j in 0..scratch.occupied.len() {
+            let r_draws = scratch.responders[j];
+            if r_draws == 0 {
+                continue;
+            }
+            let r_id = scratch.occupied[j];
+            let r_state = self.state_of[r_id];
+            // Conditional multivariate-hypergeometric chain over the
+            // remaining initiator multiset (same scheme and clamps as
+            // `draw_without_replacement`, on the compact list).
+            let mut draws_left = r_draws;
+            let mut total_left = initiators_left;
+            let mut idx = 0usize;
+            while draws_left > 0 {
+                debug_assert!(idx < scratch.init_nz.len());
+                let (jj, c) = scratch.init_nz[idx];
+                if c == 0 {
+                    // Exhausted by an earlier row: drop it (swap_remove
+                    // pulls in a not-yet-visited entry, so don't advance).
+                    scratch.init_nz.swap_remove(idx);
+                    continue;
+                }
+                let m = if total_left == c {
+                    draws_left
+                } else {
+                    let lo = (draws_left + c).saturating_sub(total_left);
+                    let hi = c.min(draws_left);
+                    hypergeometric(&mut self.rng, total_left, c, draws_left).clamp(lo, hi)
+                };
+                total_left -= c;
+                idx += 1;
+                if m == 0 {
+                    continue;
+                }
+                scratch.init_nz[idx - 1].1 = c - m;
+                draws_left -= m;
+
+                let i_id = scratch.occupied[jj as usize];
+                let (r_new, i_new) = self.protocol.transition(r_state, self.state_of[i_id]);
+                let rn_id = self.protocol.state_id(r_new);
+                let in_id = self.protocol.state_id(i_new);
+                scratch.delta[rn_id] += m as i64;
+                scratch.delta[in_id] += m as i64;
+                scratch.touched.push(rn_id);
+                scratch.touched.push(in_id);
+                if rn_id != r_id {
+                    self.output_counts[self.output_of[r_id] as usize] -= m;
+                    self.output_counts[self.output_of[rn_id] as usize] += m;
+                }
+                if in_id != i_id {
+                    self.output_counts[self.output_of[i_id] as usize] -= m;
+                    self.output_counts[self.output_of[in_id] as usize] += m;
+                }
+            }
+            initiators_left -= r_draws;
+        }
+        debug_assert_eq!(initiators_left, 0);
+        self.interactions += b;
+
+        // Replay net changes into counts and the Fenwick tree. `touched` may
+        // hold duplicates; zeroing `delta` on apply makes repeats no-ops.
+        for &id in &scratch.touched {
+            let d = scratch.delta[id];
+            if d != 0 {
+                scratch.delta[id] = 0;
+                self.add_count(id, d);
+                self.urn.add(id, d);
+            }
+        }
+        scratch.touched.clear();
+        self.scratch = scratch;
+        debug_assert_eq!(self.urn.total(), self.population);
     }
 }
 
@@ -135,8 +370,10 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
         // remaining n-1 balls, then reinsert the post-transition states.
         let r_id = self.urn.find(self.rng.gen_range(0..self.population));
         self.urn.add(r_id, -1);
+        self.add_count(r_id, -1);
         let i_id = self.urn.find(self.rng.gen_range(0..self.population - 1));
         self.urn.add(i_id, -1);
+        self.add_count(i_id, -1);
 
         let (r_new, i_new) = self
             .protocol
@@ -144,7 +381,9 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
         let rn_id = self.protocol.state_id(r_new);
         let in_id = self.protocol.state_id(i_new);
         self.urn.add(rn_id, 1);
+        self.add_count(rn_id, 1);
         self.urn.add(in_id, 1);
+        self.add_count(in_id, 1);
         self.interactions += 1;
 
         if rn_id != r_id {
@@ -157,13 +396,17 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
         }
     }
 
+    /// Batched bulk execution: delegates to [`UrnSim::steps_batched`].
+    fn steps_bulk(&mut self, k: u64, policy: &BatchPolicy) {
+        self.steps_batched(k, policy);
+    }
+
     fn output_counts(&self) -> [u64; NUM_OUTPUTS] {
         self.output_counts
     }
 
     fn for_each_state(&self, f: &mut dyn FnMut(Self::State, u64)) {
-        for id in 0..self.state_of.len() {
-            let c = self.urn.get(id);
+        for (id, &c) in self.counts.iter().enumerate() {
             if c > 0 {
                 f(self.state_of[id], c);
             }
@@ -175,7 +418,7 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
 mod tests {
     use super::*;
     use crate::protocol::Protocol;
-    use crate::runner::run_until_stable;
+    use crate::runner::{run_until_stable, run_until_stable_with};
 
     /// The slow leader-election protocol with a dense 2-state encoding.
     struct Slow;
@@ -260,6 +503,84 @@ mod tests {
         let ma: f64 = arr_times.iter().sum::<f64>() / trials as f64;
         let rel = (mu - ma).abs() / ma;
         assert!(rel < 0.35, "urn {mu:.1} vs agent {ma:.1}");
+    }
+
+    /// Policy forcing batches even at unit-test populations.
+    fn test_policy() -> BatchPolicy {
+        BatchPolicy::Adaptive {
+            shift: 4,
+            min_population: 64,
+        }
+    }
+
+    #[test]
+    fn batched_conserves_population_and_outputs() {
+        let mut sim = UrnSim::new(Slow, 10_000, 3);
+        sim.steps_batched(200_000, &test_policy());
+        assert_eq!(sim.interactions(), 200_000);
+        let total: u64 = sim.nonzero_counts().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        let mut leaders = 0;
+        sim.for_each_state(&mut |s, c| {
+            if s {
+                leaders += c;
+            }
+        });
+        assert_eq!(leaders, sim.leaders());
+        assert_eq!(sim.output_counts().iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn batched_slow_converges_to_one_leader() {
+        let mut sim = UrnSim::new(Slow, 4096, 17);
+        let res = run_until_stable_with(&mut sim, &test_policy(), 1 << 32);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+        // Stops on a batch boundary: with constant population the batch is
+        // constant, so the stopping time is a multiple of it.
+        assert_eq!(res.interactions % test_policy().batch_size(4096), 0);
+    }
+
+    #[test]
+    fn batched_tracks_sequential_trajectory() {
+        // Slow protocol marginal x(t) = 1/(1+t) — the batched path must
+        // follow it just like the sequential one (test tolerance is loose
+        // enough for both sampling noise and the O(batch/n) bias).
+        let n = 1u64 << 14;
+        let mut sim = UrnSim::new(Slow, n, 9);
+        for k in 1..=6u64 {
+            sim.steps_batched(2 * n, &test_policy());
+            let t = 2.0 * k as f64;
+            let expected = n as f64 / (1.0 + t);
+            let rel = (sim.leaders() as f64 - expected).abs() / expected;
+            assert!(rel < 0.2, "t={t}: {} vs {expected:.0}", sim.leaders());
+        }
+    }
+
+    #[test]
+    fn batched_falls_back_to_per_step_below_min_population() {
+        // Identical RNG consumption to the sequential path when the policy
+        // says "don't batch": the configurations must match bit for bit.
+        let policy = BatchPolicy::Adaptive {
+            shift: 4,
+            min_population: 1 << 20,
+        };
+        let mut batched = UrnSim::new(Slow, 500, 23);
+        let mut sequential = UrnSim::new(Slow, 500, 23);
+        batched.steps_batched(5_000, &policy);
+        sequential.steps(5_000);
+        assert_eq!(batched.nonzero_counts(), sequential.nonzero_counts());
+        assert_eq!(batched.output_counts(), sequential.output_counts());
+    }
+
+    #[test]
+    fn batched_heterogeneous_start() {
+        let counts = [(true, 64u64), (false, 4032)];
+        let mut sim = UrnSim::with_counts(Slow, &counts, 31);
+        assert_eq!(sim.leaders(), 64);
+        let res = run_until_stable_with(&mut sim, &test_policy(), 1 << 32);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
     }
 
     #[test]

@@ -1,7 +1,12 @@
-//! Model-based property tests for the engine's data structures.
+//! Model-based property tests for the engine's data structures and the
+//! batched sampling primitives. Case counts honour `PROPTEST_CASES`
+//! (default 64; CI's stress job runs 256).
 
+use ppsim::batch::{binomial, draw_without_replacement};
 use ppsim::{quantile, Fenwick};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// A random program of Fenwick operations, validated against a plain
 /// vector model.
@@ -124,5 +129,126 @@ proptest! {
         let seeds = ppsim::trial_seeds(master, 256);
         let set: std::collections::HashSet<_> = seeds.iter().collect();
         prop_assert_eq!(set.len(), seeds.len());
+    }
+
+    #[test]
+    fn binomial_always_in_support(seed in any::<u64>(), n in 0u64..1_000_000, p in -0.2f64..1.2) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x = binomial(&mut rng, n, p);
+        prop_assert!(x <= n, "binomial({n}, {p}) = {x}");
+        if p <= 0.0 { prop_assert_eq!(x, 0); }
+        if p >= 1.0 { prop_assert_eq!(x, n); }
+    }
+
+    #[test]
+    fn binomial_empirical_mean_tracks_np(
+        seed in any::<u64>(),
+        n in 1u64..200_000,
+        p in 0.001f64..0.999,
+    ) {
+        // One modest empirical check per generated (n, p): the sample mean
+        // of k draws must sit within 6 standard errors of n·p. Catches
+        // regressions in either sampling regime (exact walk and normal
+        // approximation) across the parameter sweep proptest generates.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let k = 200u64;
+        let sum: u64 = (0..k).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / k as f64;
+        let expect = n as f64 * p;
+        let se = (expect * (1.0 - p) / k as f64).sqrt();
+        // 6 SE two-sided + 1 absolute slack for the tiny-variance corner.
+        prop_assert!(
+            (mean - expect).abs() < 6.0 * se + 1.0,
+            "Bin({n}, {p}): mean {mean} vs {expect} (se {se})"
+        );
+    }
+
+    #[test]
+    fn binomial_empirical_variance_in_range(
+        seed in any::<u64>(),
+        n in 100u64..100_000,
+        p in 0.05f64..0.95,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let k = 300usize;
+        let xs: Vec<f64> = (0..k).map(|_| binomial(&mut rng, n, p) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / k as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (k - 1) as f64;
+        let expect = n as f64 * p * (1.0 - p);
+        // Sample variance of k draws has sd ≈ expect·√(2/k) ≈ 0.082·expect;
+        // allow ±50% — generous, but a broken sampler (e.g. missing the
+        // (1-p) factor or a constant output) lands far outside.
+        prop_assert!(
+            var > 0.5 * expect && var < 1.5 * expect,
+            "Bin({n}, {p}): var {var} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn multinomial_sums_and_never_exceeds_counts(
+        seed in any::<u64>(),
+        pool_template in prop::collection::vec(0u64..5_000, 1..40),
+        draw_frac in 0.0f64..1.0,
+    ) {
+        let total: u64 = pool_template.iter().sum();
+        let draws = (total as f64 * draw_frac) as u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pool = pool_template.clone();
+        let mut pool_total = total;
+        let mut out = Vec::new();
+        draw_without_replacement(&mut rng, draws, &mut pool, &mut pool_total, &mut out);
+        prop_assert_eq!(out.len(), pool_template.len());
+        prop_assert_eq!(out.iter().sum::<u64>(), draws, "draws must sum to the batch size");
+        prop_assert_eq!(pool_total, total - draws);
+        for (j, (&x, &c)) in out.iter().zip(&pool_template).enumerate() {
+            prop_assert!(x <= c, "slot {j} drew {x} of {c}");
+            prop_assert_eq!(pool[j], c - x, "pool must shrink by the draw");
+        }
+    }
+
+    #[test]
+    fn multinomial_drains_pool_exactly(
+        seed in any::<u64>(),
+        pool_template in prop::collection::vec(0u64..100, 1..20),
+    ) {
+        // Drawing the whole pool must return it exactly, whatever the seed.
+        let total: u64 = pool_template.iter().sum();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pool = pool_template.clone();
+        let mut pool_total = total;
+        let mut out = Vec::new();
+        draw_without_replacement(&mut rng, total, &mut pool, &mut pool_total, &mut out);
+        prop_assert_eq!(out, pool_template);
+        prop_assert_eq!(pool_total, 0);
+    }
+
+    #[test]
+    fn multinomial_marginal_tracks_weights(
+        seed in any::<u64>(),
+        heavy in 100u64..10_000,
+        light in 100u64..10_000,
+    ) {
+        // Two-slot pool: over repetitions the first slot's share of the
+        // draws must track its share of the mass.
+        let total = heavy + light;
+        let draws = total / 3;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reps = 150u64;
+        let mut first = 0u64;
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            let mut pool = vec![heavy, light];
+            let mut pool_total = total;
+            draw_without_replacement(&mut rng, draws, &mut pool, &mut pool_total, &mut out);
+            first += out[0];
+        }
+        let expect = reps as f64 * draws as f64 * heavy as f64 / total as f64;
+        // Hypergeometric sd per rep ≤ √(draws/4); 6σ across reps plus
+        // absolute slack for tiny expectations.
+        let sd = (reps as f64 * draws as f64 / 4.0).sqrt();
+        prop_assert!(
+            (first as f64 - expect).abs() < 6.0 * sd + 5.0,
+            "slot share {first} vs {expect} (sd {sd})"
+        );
     }
 }

@@ -8,6 +8,12 @@
 //! ppctl census --n 4096 --at 200           census snapshot at a parallel time
 //! ```
 //!
+//! `elect`, `sweep` and `census` accept `--engine agent|urn|urn-batched`
+//! (default `agent`): `urn` is the exact count-based simulator, and
+//! `urn-batched` samples whole interaction batches at once (see
+//! `ppsim::batch`) — the only engine that makes populations of 2^30 and
+//! beyond interactive.
+//!
 //! Hand-rolled argument parsing (the repository keeps its dependency set
 //! to the simulation essentials).
 
@@ -15,7 +21,10 @@ use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppsim::stats::Summary;
 use population_protocols::ppsim::table::{fnum, Table};
-use population_protocols::ppsim::{run_trials, run_until_stable, AgentSim, Protocol, Simulator};
+use population_protocols::ppsim::{
+    run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, EnumerableProtocol,
+    Simulator, UrnSim,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,11 +51,14 @@ fn print_help() {
         "ppctl — leader election in population protocols (GSU19 reproduction)\n\n\
          commands:\n\
          \x20 params --n N                         show derived parameters\n\
-         \x20 elect  --protocol P --n N [--seed S] run one election\n\
-         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S]\n\
+         \x20 elect  --protocol P --n N [--seed S] [--engine E]\n\
+         \x20                                      run one election\n\
+         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S] [--engine E]\n\
          \x20                                      convergence table across n (doubling)\n\
-         \x20 census --n N [--at T] [--seed S]     census snapshot at parallel time T\n\n\
-         protocols: gsu19 (default) | gs18 | bkko18 | slow"
+         \x20 census --n N [--at T] [--seed S] [--engine E]\n\
+         \x20                                      census snapshot at parallel time T\n\n\
+         protocols: gsu19 (default) | gs18 | bkko18 | slow\n\
+         engines:   agent (default) | urn | urn-batched"
     );
 }
 
@@ -106,21 +118,64 @@ fn cmd_params(args: &[String]) -> i32 {
     0
 }
 
-fn run_election<P: Protocol>(proto: P, n: u64, seed: u64) -> (bool, f64, u64) {
-    let mut sim = AgentSim::new(proto, n as usize, seed);
-    let res = run_until_stable(&mut sim, 200_000 * n);
-    (res.converged, res.parallel_time, sim.leaders())
+/// Requested execution engine; see [`parse_engine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Engine {
+    Agent,
+    Urn,
+    UrnBatched,
+}
+
+fn parse_engine(args: &[String]) -> Option<Engine> {
+    match opt(args, "--engine").unwrap_or("agent") {
+        "agent" => Some(Engine::Agent),
+        "urn" => Some(Engine::Urn),
+        "urn-batched" => Some(Engine::UrnBatched),
+        other => {
+            eprintln!("unknown engine: {other} (expected agent | urn | urn-batched)");
+            None
+        }
+    }
+}
+
+fn run_election<P: EnumerableProtocol>(
+    proto: P,
+    n: u64,
+    seed: u64,
+    engine: Engine,
+) -> (bool, f64, u64) {
+    let budget = 200_000 * n;
+    match engine {
+        Engine::Agent => {
+            let mut sim = AgentSim::new(proto, n as usize, seed);
+            let res = run_until_stable(&mut sim, budget);
+            (res.converged, res.parallel_time, sim.leaders())
+        }
+        Engine::Urn => {
+            let mut sim = UrnSim::new(proto, n, seed);
+            let res = run_until_stable(&mut sim, budget);
+            (res.converged, res.parallel_time, sim.leaders())
+        }
+        Engine::UrnBatched => {
+            let mut sim = UrnSim::new(proto, n, seed);
+            let res = run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget);
+            (res.converged, res.parallel_time, sim.leaders())
+        }
+    }
 }
 
 fn cmd_elect(args: &[String]) -> i32 {
     let n = parse_n(args);
     let seed = parse_seed(args);
     let protocol = opt(args, "--protocol").unwrap_or("gsu19");
+    let Some(engine) = parse_engine(args) else {
+        return 2;
+    };
     let (ok, t, leaders) = match protocol {
-        "gsu19" => run_election(Gsu19::for_population(n), n, seed),
-        "gs18" => run_election(Gs18::for_population(n), n, seed),
-        "bkko18" => run_election(Bkko18::for_population(n), n, seed),
-        "slow" => run_election(SlowLe, n, seed),
+        "gsu19" => run_election(Gsu19::for_population(n), n, seed, engine),
+        "gs18" => run_election(Gs18::for_population(n), n, seed, engine),
+        "bkko18" => run_election(Bkko18::for_population(n), n, seed, engine),
+        "slow" => run_election(SlowLe, n, seed, engine),
         other => {
             eprintln!("unknown protocol: {other}");
             return 2;
@@ -145,6 +200,9 @@ fn cmd_sweep(args: &[String]) -> i32 {
         .unwrap_or(8);
     let seed = parse_seed(args);
     let protocol = opt(args, "--protocol").unwrap_or("gsu19");
+    let Some(engine) = parse_engine(args) else {
+        return 2;
+    };
 
     let mut t = Table::new([
         "n",
@@ -158,26 +216,13 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let mut n = lo.max(64);
     while n <= hi {
         let times: Vec<f64> = run_trials(trials, seed, |_, s| {
-            let budget = 200_000 * n;
-            let res = match protocol {
-                "gsu19" => {
-                    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, s);
-                    run_until_stable(&mut sim, budget)
-                }
-                "gs18" => {
-                    let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, s);
-                    run_until_stable(&mut sim, budget)
-                }
-                "bkko18" => {
-                    let mut sim = AgentSim::new(Bkko18::for_population(n), n as usize, s);
-                    run_until_stable(&mut sim, budget)
-                }
-                _ => {
-                    let mut sim = AgentSim::new(SlowLe, n as usize, s);
-                    run_until_stable(&mut sim, budget)
-                }
+            let (_, t, _) = match protocol {
+                "gsu19" => run_election(Gsu19::for_population(n), n, s, engine),
+                "gs18" => run_election(Gs18::for_population(n), n, s, engine),
+                "bkko18" => run_election(Bkko18::for_population(n), n, s, engine),
+                _ => run_election(SlowLe, n, s, engine),
             };
-            res.parallel_time
+            t
         });
         let s = Summary::of(&times);
         let l = (n as f64).log2();
@@ -203,11 +248,29 @@ fn cmd_census(args: &[String]) -> i32 {
     let at: f64 = opt(args, "--at")
         .and_then(|v| v.parse().ok())
         .unwrap_or(100.0);
+    let Some(engine) = parse_engine(args) else {
+        return 2;
+    };
     let proto = Gsu19::for_population(n);
     let params = *proto.params();
-    let mut sim = AgentSim::new(proto, n as usize, seed);
-    sim.steps((at * n as f64) as u64);
-    let c = Census::of(&sim, &params);
+    let interactions = (at * n as f64) as u64;
+    let c = match engine {
+        Engine::Agent => {
+            let mut sim = AgentSim::new(proto, n as usize, seed);
+            sim.steps(interactions);
+            Census::of(&sim, &params)
+        }
+        Engine::Urn => {
+            let mut sim = UrnSim::new(proto, n, seed);
+            sim.steps(interactions);
+            Census::of(&sim, &params)
+        }
+        Engine::UrnBatched => {
+            let mut sim = UrnSim::new(proto, n, seed);
+            sim.steps_batched(interactions, &BatchPolicy::adaptive());
+            Census::of(&sim, &params)
+        }
+    };
     println!("census at parallel time {at} (n = {n}):");
     println!("  zero / X / deactivated : {} / {} / {}", c.zero, c.x, c.d);
     println!("  coins by level         : {:?}", c.coin_levels);
@@ -250,5 +313,16 @@ mod tests {
     fn defaults() {
         assert_eq!(parse_n(&[]), 1 << 12);
         assert_eq!(parse_seed(&[]), 42);
+    }
+
+    #[test]
+    fn engine_parsing() {
+        assert_eq!(parse_engine(&args(&[])), Some(Engine::Agent));
+        assert_eq!(parse_engine(&args(&["--engine", "urn"])), Some(Engine::Urn));
+        assert_eq!(
+            parse_engine(&args(&["--engine", "urn-batched"])),
+            Some(Engine::UrnBatched)
+        );
+        assert_eq!(parse_engine(&args(&["--engine", "bogus"])), None);
     }
 }

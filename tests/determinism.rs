@@ -6,7 +6,10 @@
 //! experiment's reproducibility rests on.
 
 use population_protocols::core::{Census, Gsu19};
-use population_protocols::ppsim::{run_until_stable, split_seed, trial_seeds, AgentSim, Simulator};
+use population_protocols::ppsim::{
+    run_until_stable, run_until_stable_with, split_seed, trial_seeds, AgentSim, BatchPolicy,
+    Simulator, UrnSim,
+};
 
 #[test]
 fn same_seed_replays_bit_identical_trace() {
@@ -74,6 +77,86 @@ fn full_run_replays_to_identical_census() {
     assert_ne!(
         t1, t3,
         "distinct seeds produced identical stabilisation times"
+    );
+}
+
+/// A policy that actually batches at test-sized populations.
+fn batched_policy() -> BatchPolicy {
+    BatchPolicy::Adaptive {
+        shift: 4,
+        min_population: 256,
+    }
+}
+
+#[test]
+fn steps_batched_replays_bit_identical() {
+    // The batched path is a function of (protocol, n, seed, k, policy) only:
+    // two runs must agree on every counter, not just statistically.
+    let n = 1u64 << 12;
+    let policy = batched_policy();
+    let run = |seed: u64| {
+        let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+        sim.steps_batched(40 * n, &policy);
+        (
+            sim.interactions(),
+            sim.output_counts(),
+            sim.nonzero_counts(),
+        )
+    };
+    let (i1, o1, c1) = run(0xBAD_CAFE);
+    let (i2, o2, c2) = run(0xBAD_CAFE);
+    assert_eq!(i1, i2);
+    assert_eq!(o1, o2, "output counts diverged under steps_batched");
+    assert_eq!(c1, c2, "configuration diverged under steps_batched");
+
+    // A different seed gives a different configuration (overwhelmingly).
+    let (_, _, c3) = run(0xBAD_CAFF);
+    assert_ne!(c1, c3, "distinct seeds produced identical configurations");
+}
+
+#[test]
+fn batched_chunking_is_a_performance_knob_only() {
+    // Splitting the interaction budget across calls at batch-aligned points
+    // consumes the RNG stream identically: one call of 8 batches must equal
+    // eight calls of one batch, bit for bit.
+    let n = 1u64 << 12;
+    let policy = batched_policy();
+    let b = policy.batch_size(n);
+    let mut whole = UrnSim::new(Gsu19::for_population(n), n, 99);
+    let mut split = UrnSim::new(Gsu19::for_population(n), n, 99);
+    whole.steps_batched(8 * b, &policy);
+    for _ in 0..8 {
+        split.steps_batched(b, &policy);
+    }
+    assert_eq!(whole.interactions(), split.interactions());
+    assert_eq!(whole.output_counts(), split.output_counts());
+    assert_eq!(whole.nonzero_counts(), split.nonzero_counts());
+}
+
+#[test]
+fn batched_overshoot_is_reproducible() {
+    // Under a batching policy the stopping predicate is checked at batch
+    // boundaries, so the reported stabilisation time may overshoot the
+    // exact first hit — but it must overshoot *identically* on every run,
+    // and land exactly on a batch boundary.
+    let n = 1u64 << 12;
+    let policy = batched_policy();
+    let run = |seed: u64| {
+        let proto = Gsu19::for_population(n);
+        let params = *proto.params();
+        let mut sim = UrnSim::new(proto, n, seed);
+        let res = run_until_stable_with(&mut sim, &policy, 100_000 * n);
+        assert!(res.converged, "seed {seed} did not converge");
+        (res, Census::of(&sim, &params))
+    };
+    let (r1, c1) = run(7);
+    let (r2, c2) = run(7);
+    assert_eq!(r1, r2, "batched stabilisation result not reproducible");
+    assert_eq!(c1, c2, "batched final census not reproducible");
+    assert_eq!(
+        r1.interactions % policy.batch_size(n),
+        0,
+        "batched stopping time must sit on a batch boundary"
     );
 }
 

@@ -1,14 +1,35 @@
-//! The two execution engines ([`AgentSim`] and [`UrnSim`]) must simulate
-//! the *same* Markov chain: an urn of anonymous agents. These tests compare
-//! them distributionally on the paper's protocol — beyond the structural
-//! snapshot agreement of `end_to_end.rs`, here we compare convergence-time
-//! distributions and trajectory marginals.
+//! The execution engines must simulate the *same* Markov chain: an urn of
+//! anonymous agents. These tests compare them distributionally on the
+//! paper's protocol — beyond the structural snapshot agreement of
+//! `end_to_end.rs`, here we compare convergence-time distributions and
+//! trajectory marginals across [`AgentSim`], sequential [`UrnSim`] and the
+//! batched `UrnSim` path (`steps_batched`, see `ppsim::batch`).
+//!
+//! The batched comparisons are the statistical gate for the batching
+//! optimisation: the batch sampler changes the *algorithm* (multinomial
+//! blocks instead of per-interaction Fenwick draws, within-batch
+//! approximation O(batch/n)) but must not change the sampled
+//! *distribution* beyond what these KS / chi-square gates allow. All seeds
+//! are fixed, so CI sees a deterministic computation — the significance
+//! levels are deliberately generous (α = 0.001-ish critical values) and
+//! refer to the draw of the seeds, not to reruns.
 
 use population_protocols::baselines::SlowLe;
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppsim::{
-    mean, run_trials_threads, run_until_stable, AgentSim, Simulator, UrnSim,
+    chi_square_stat, ks_critical, ks_statistic, mean, run_trials_threads, run_until_stable,
+    run_until_stable_with, AgentSim, BatchPolicy, Simulator, UrnSim,
 };
+
+/// The default batch fraction, with `min_population` lowered so batching is
+/// actually exercised at test-sized populations (the default cutoff of 4096
+/// would fall back to per-step below that).
+fn batched_policy() -> BatchPolicy {
+    BatchPolicy::Adaptive {
+        shift: BatchPolicy::DEFAULT_SHIFT,
+        min_population: 256,
+    }
+}
 
 #[test]
 fn convergence_time_distributions_match_gsu19() {
@@ -75,6 +96,143 @@ fn census_totals_conserved_on_both_engines() {
         urn.steps(30 * n);
         assert_eq!(Census::of(&agent, &params).total(), n);
         assert_eq!(Census::of(&urn, &params).total(), n);
+    }
+}
+
+#[test]
+fn batched_vs_sequential_stabilisation_times_ks() {
+    // Kolmogorov–Smirnov gate on the stabilisation-time distribution of
+    // the paper's protocol: batched UrnSim vs sequential UrnSim vs
+    // AgentSim, 20 seeded trials each. Distinct master seeds per engine —
+    // we compare distributions, not trajectories.
+    let n = 1u64 << 10;
+    let trials = 20;
+    let budget = 100_000 * n;
+    let policy = batched_policy();
+    let agent_times = run_trials_threads(trials, 1100, 2, |_, seed| {
+        let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
+        let res = run_until_stable(&mut sim, budget);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    let urn_times = run_trials_threads(trials, 1200, 2, |_, seed| {
+        let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+        let res = run_until_stable(&mut sim, budget);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    let batched_times = run_trials_threads(trials, 1300, 2, |_, seed| {
+        let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+        let res = run_until_stable_with(&mut sim, &policy, budget);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+        res.parallel_time
+    });
+    // Generous critical value: α = 0.001 → reject only a gross mismatch.
+    let crit = ks_critical(trials, trials, 0.001);
+    let d_seq = ks_statistic(&batched_times, &urn_times);
+    let d_agent = ks_statistic(&batched_times, &agent_times);
+    let d_ref = ks_statistic(&urn_times, &agent_times);
+    assert!(
+        d_seq < crit,
+        "batched vs sequential urn: D={d_seq:.3} ≥ {crit:.3}"
+    );
+    assert!(
+        d_agent < crit,
+        "batched urn vs agent: D={d_agent:.3} ≥ {crit:.3}"
+    );
+    assert!(
+        d_ref < crit,
+        "sequential urn vs agent: D={d_ref:.3} ≥ {crit:.3}"
+    );
+}
+
+#[test]
+fn batched_leader_count_distribution_chi_square() {
+    // Chi-square gate on a configuration marginal: the number of leader
+    // candidates of the slow protocol at parallel time 4 follows a clean
+    // distribution concentrated near n/5. Histogram the counts from many
+    // seeded trials of each engine over common bins and test homogeneity.
+    let n = 1u64 << 12;
+    let trials = 60;
+    let policy = batched_policy();
+    let leaders_seq = run_trials_threads(trials, 2100, 4, |_, seed| {
+        let mut sim = UrnSim::new(SlowLe, n, seed);
+        sim.steps(4 * n);
+        sim.leaders()
+    });
+    let leaders_batched = run_trials_threads(trials, 2200, 4, |_, seed| {
+        let mut sim = UrnSim::new(SlowLe, n, seed);
+        sim.steps_batched(4 * n, &policy);
+        sim.leaders()
+    });
+    // Common equal-width bins spanning both samples.
+    let lo = *leaders_seq
+        .iter()
+        .chain(&leaders_batched)
+        .min()
+        .expect("non-empty");
+    let hi = *leaders_seq
+        .iter()
+        .chain(&leaders_batched)
+        .max()
+        .expect("non-empty");
+    let bins = 6usize;
+    let width = ((hi - lo) / bins as u64 + 1).max(1);
+    let histogram = |xs: &[u64]| {
+        let mut h = vec![0u64; bins];
+        for &x in xs {
+            h[((x - lo) / width) as usize] += 1;
+        }
+        h
+    };
+    let (stat, dof) = chi_square_stat(&histogram(&leaders_seq), &histogram(&leaders_batched));
+    // χ²(5) at α = 0.001 is 20.5; the gate sits above it so only a
+    // systematically shifted distribution trips.
+    assert!(
+        stat < 22.0,
+        "leader-count χ²({dof}) = {stat:.1} — batched marginal diverged"
+    );
+}
+
+#[test]
+fn batched_convergence_time_mean_matches() {
+    // Coarser (and cheaper) version of the KS gate at a larger population
+    // where the batch size is meaningful: means within 35% like the
+    // original two-engine test.
+    let n = 1u64 << 12;
+    let trials = 10;
+    let budget = 100_000 * n;
+    let urn_times = run_trials_threads(trials, 3100, 2, |_, seed| {
+        let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+        run_until_stable(&mut sim, budget).parallel_time
+    });
+    let batched_times = run_trials_threads(trials, 3200, 2, |_, seed| {
+        let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
+        run_until_stable_with(&mut sim, &batched_policy(), budget).parallel_time
+    });
+    let mu = mean(&urn_times);
+    let mb = mean(&batched_times);
+    let rel = (mu - mb).abs() / mu;
+    assert!(
+        rel < 0.35,
+        "sequential mean {mu:.1} vs batched mean {mb:.1} (rel {rel:.2})"
+    );
+}
+
+#[test]
+fn batched_census_totals_conserved() {
+    // Structural gate: the batched path must conserve the population and
+    // every census category total along the way.
+    let n = 1u64 << 12;
+    let proto = Gsu19::for_population(n);
+    let params = *proto.params();
+    let mut sim = UrnSim::new(proto, n, 4100);
+    let policy = batched_policy();
+    for _ in 0..10 {
+        sim.steps_batched(10 * n, &policy);
+        assert_eq!(Census::of(&sim, &params).total(), n);
+        assert_eq!(sim.output_counts().iter().sum::<u64>(), n);
     }
 }
 
