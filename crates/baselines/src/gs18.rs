@@ -22,7 +22,7 @@
 //! time shape, which is what Table 1 compares.
 
 use core_protocol::{Gsu19, Params};
-use ppsim::{EnumerableProtocol, Output, Protocol};
+use ppsim::{CompiledProtocol, EnumerableProtocol, FactoredProtocol, Output, Protocol};
 
 /// GS18-style protocol. Thin wrapper over the shared substrate so that
 /// measured differences against [`core_protocol::Gsu19`] isolate the
@@ -53,6 +53,11 @@ impl Gs18 {
     pub fn inner(&self) -> &Gsu19 {
         &self.inner
     }
+
+    /// Compile into dense transition tables (see [`ppsim::compiled`]).
+    pub fn compiled(self) -> CompiledProtocol<Gs18> {
+        CompiledProtocol::new(self)
+    }
 }
 
 impl Protocol for Gs18 {
@@ -80,6 +85,26 @@ impl EnumerableProtocol for Gs18 {
     }
     fn state_from_id(&self, id: usize) -> Self::State {
         self.inner.state_from_id(id)
+    }
+}
+
+/// Same substrate, same factorisation: delegate the compiled-table
+/// contract to the GSU19 implementation.
+impl FactoredProtocol for Gs18 {
+    fn phase_count(&self) -> usize {
+        self.inner.phase_count()
+    }
+    fn phase_class_count(&self) -> usize {
+        self.inner.phase_class_count()
+    }
+    fn phase_class(&self, bucket: usize) -> usize {
+        self.inner.phase_class(bucket)
+    }
+    fn tick_class_count(&self) -> usize {
+        self.inner.tick_class_count()
+    }
+    fn tick_class(&self, old_phase: usize, new_phase: usize) -> usize {
+        self.inner.tick_class(old_phase, new_phase)
     }
 }
 

@@ -5,7 +5,7 @@
 use baselines::{Bkko18, SlowLe};
 use core_protocol::Gsu19;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ppsim::{AgentSim, Simulator, UrnSim};
+use ppsim::{AgentSim, CompiledProtocol, Simulator, UrnSim};
 
 const STEPS: u64 = 10_000;
 
@@ -24,6 +24,11 @@ fn agent_sim_throughput(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("gsu19", n), |b| {
         let mut sim = AgentSim::new(Gsu19::for_population(n as u64), n, 1);
+        b.iter(|| sim.steps(STEPS));
+    });
+    g.bench_function(BenchmarkId::new("gsu19-compiled", n), |b| {
+        let proto = CompiledProtocol::new(Gsu19::for_population(n as u64));
+        let mut sim = AgentSim::new(proto, n, 1);
         b.iter(|| sim.steps(STEPS));
     });
     g.finish();

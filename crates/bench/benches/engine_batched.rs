@@ -5,13 +5,14 @@
 //! this target measures its per-interaction throughput against the
 //! sequential Fenwick path on the same protocol and population, which is
 //! the acceptance number for the batching work (≥10× at n ≥ 2^20 on
-//! `Gsu19`). The vendored criterion shim reports a median only — quote
-//! these numbers with that caveat (no confidence intervals).
+//! `Gsu19`). The vendored criterion shim reports min/median/max per
+//! benchmark (no confidence intervals) — quote ratios from the medians
+//! and use min/max as the spread.
 
 use baselines::SlowLe;
 use core_protocol::Gsu19;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ppsim::{BatchPolicy, Simulator, UrnSim};
+use ppsim::{BatchPolicy, CompiledProtocol, Simulator, UrnSim};
 
 /// Sequential path: enough steps to dominate timer noise.
 const SEQ_STEPS: u64 = 10_000;
@@ -52,6 +53,14 @@ fn urn_batched(c: &mut Criterion) {
             let mut sim = UrnSim::new(SlowLe, n, 1);
             b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
         });
+        g.bench_function(
+            BenchmarkId::new("gsu19-compiled", format!("2^{npow}")),
+            |b| {
+                let proto = CompiledProtocol::new(Gsu19::for_population(n));
+                let mut sim = UrnSim::new(proto, n, 1);
+                b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
+            },
+        );
     }
     g.finish();
 }

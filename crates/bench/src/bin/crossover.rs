@@ -3,7 +3,8 @@
 //! closes as n grows (extrapolated crossover ≈ 2^24).
 //!
 //! ```text
-//! crossover [n] [trials] [engine]     engine: agent (default) | urn-batched
+//! crossover [n] [trials] [engine] [--compiled]
+//!     engine: agent (default) | urn-batched
 //! ```
 //!
 //! The `urn-batched` engine (see `ppsim::batch`) runs the same probe on the
@@ -11,53 +12,91 @@
 //! only way to actually reach the extrapolated crossover (n ≳ 2^24) in
 //! reasonable wall time. Note its stopping times are quantised to batch
 //! boundaries (overshoot ≤ n/64 interactions = 1/64 parallel time).
+//!
+//! `--compiled` runs the chosen engine on compiled transition tables
+//! (`ppsim::compiled`) for both protocols — the fast path for the agent
+//! engine (compile once per protocol, clone per trial).
 
 use baselines::Gs18;
 use core_protocol::Gsu19;
-use ppsim::{run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, UrnSim};
+use ppsim::{
+    run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, CompiledProtocol,
+    EnumerableProtocol, FactoredProtocol, UrnSim,
+};
+
+/// One election on the chosen engine; generic over the (possibly
+/// compiled) protocol.
+fn election<P: EnumerableProtocol>(proto: P, n: u64, seed: u64, batched: bool) -> f64 {
+    let budget = 30_000 * n;
+    let res = if batched {
+        let mut sim = UrnSim::new(proto, n, seed);
+        run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget)
+    } else {
+        let mut sim = AgentSim::new(proto, n as usize, seed);
+        run_until_stable(&mut sim, budget)
+    };
+    assert!(res.converged);
+    res.parallel_time
+}
+
+fn probe<P>(proto: P, n: u64, trials: usize, batched: bool, compiled: bool) -> Vec<f64>
+where
+    P: FactoredProtocol + Clone + Sync,
+{
+    if compiled {
+        // Compile once; trials share the tables through cheap clones.
+        let c = CompiledProtocol::new(proto);
+        run_trials(trials, 300, move |_, seed| {
+            election(c.clone(), n, seed, batched)
+        })
+    } else {
+        run_trials(trials, 300, move |_, seed| {
+            election(proto.clone(), n, seed, batched)
+        })
+    }
+}
 
 fn main() {
-    let n: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+    // Positional [n] [trials] [engine] in order, `--compiled` anywhere;
+    // anything else is a usage error (a silently-dropped argument here
+    // can cost hours of probing the wrong configuration).
+    let mut positional: Vec<String> = Vec::new();
+    let mut compiled = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--compiled" {
+            compiled = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    assert!(
+        positional.len() <= 3,
+        "usage: crossover [n] [trials] [engine] [--compiled]"
+    );
+    let n: u64 = positional
+        .first()
+        .map(|a| a.parse().expect("n must be an integer"))
         .unwrap_or(1 << 20);
-    let trials: usize = std::env::args()
-        .nth(2)
-        .and_then(|a| a.parse().ok())
+    let trials: usize = positional
+        .get(1)
+        .map(|a| a.parse().expect("trials must be an integer"))
         .unwrap_or(6);
-    let engine = std::env::args().nth(3).unwrap_or_else(|| "agent".into());
+    let engine = positional.get(2).cloned().unwrap_or_else(|| "agent".into());
     assert!(
         engine == "agent" || engine == "urn-batched",
         "engine must be agent | urn-batched"
     );
+    let batched = engine == "urn-batched";
     for proto in ["gsu19", "gs18"] {
-        let times = run_trials(trials, 300, |_, seed| {
-            let budget = 30_000 * n;
-            let res = match (proto, engine.as_str()) {
-                ("gsu19", "agent") => {
-                    let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
-                    run_until_stable(&mut sim, budget)
-                }
-                ("gsu19", _) => {
-                    let mut sim = UrnSim::new(Gsu19::for_population(n), n, seed);
-                    run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget)
-                }
-                (_, "agent") => {
-                    let mut sim = AgentSim::new(Gs18::for_population(n), n as usize, seed);
-                    run_until_stable(&mut sim, budget)
-                }
-                (_, _) => {
-                    let mut sim = UrnSim::new(Gs18::for_population(n), n, seed);
-                    run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget)
-                }
-            };
-            assert!(res.converged);
-            res.parallel_time
-        });
+        let times = match proto {
+            "gsu19" => probe(Gsu19::for_population(n), n, trials, batched, compiled),
+            _ => probe(Gs18::for_population(n), n, trials, batched, compiled),
+        };
         let s = ppsim::Summary::of(&times);
         let l = (n as f64).log2();
+        let tag = if compiled { ", compiled" } else { "" };
         println!(
-            "{proto} [{engine}] n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
+            "{proto} [{engine}{tag}] n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
             l,
             s.mean,
             s.ci95,

@@ -94,6 +94,17 @@ impl Clock {
         }
     }
 
+    /// Whether a responder update `old → new` passed through zero: a wrap
+    /// is the only way the adopted phase can be numerically smaller, as
+    /// `max_Γ` only ever moves forward along the circle. Shared by
+    /// [`Clock::update`] and by table compilation
+    /// (`core_protocol`'s `FactoredProtocol::tick_class`), which must
+    /// reconstruct ticks from phase pairs alone.
+    #[inline]
+    pub fn passed_zero(&self, old: u16, new: u16) -> bool {
+        new < old && old - new > self.gamma / 2
+    }
+
     /// Responder phase update. `is_junta` selects between the follower rule
     /// `max_Γ(t₁, t₂)` and the junta rule `max_Γ(t₁, t₂ +Γ 1)`.
     #[inline]
@@ -103,9 +114,7 @@ impl Clock {
         ClockTick {
             old_phase: t1,
             phase: new,
-            // A wrap is the only way the adopted phase can be numerically
-            // smaller: max_Γ only ever moves forward along the circle.
-            passed_zero: new < t1 && t1 - new > self.gamma / 2,
+            passed_zero: self.passed_zero(t1, new),
         }
     }
 

@@ -47,13 +47,24 @@ pub struct Census {
 impl Census {
     /// Take a census of the current configuration.
     pub fn of<S: Simulator<State = AgentState>>(sim: &S, params: &Params) -> Self {
+        Self::of_with(sim, params, |s| s)
+    }
+
+    /// Take a census of a simulator whose states need decoding first —
+    /// e.g. the packed `u32` ids of a [`ppsim::CompiledProtocol`] (decode
+    /// with [`ppsim::CompiledProtocol::decode_state`]).
+    pub fn of_with<S: Simulator>(
+        sim: &S,
+        params: &Params,
+        decode: impl Fn(S::State) -> AgentState,
+    ) -> Self {
         let mut c = Census {
             coin_levels: vec![0; params.phi as usize + 1],
             inhibitor_drags: vec![0; params.psi as usize + 1],
             inhibitor_high: vec![0; params.psi as usize + 1],
             ..Census::default()
         };
-        sim.for_each_state(&mut |s, k| match s.role {
+        sim.for_each_state(&mut |s, k| match decode(s).role {
             Role::Zero => c.zero += k,
             Role::X => c.x += k,
             Role::D => c.d += k,

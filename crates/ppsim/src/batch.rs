@@ -63,7 +63,10 @@ pub fn binomial<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
 fn binomial_inverse_cdf<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
     let q = 1.0 - p;
     let s = p / q;
-    let a = (n + 1) as f64 * s;
+    // `n as f64 + 1.0`, not `(n + 1) as f64`: the integer increment
+    // overflows at n = u64::MAX (tiny-p draws over the full-range
+    // population the urn engine advertises).
+    let a = (n as f64 + 1.0) * s;
     // q^n via exp(n ln q): with n·p bounded by the caller this cannot
     // underflow to a degenerate 0 (e^-48 ≈ 1e-21 ≫ f64::MIN_POSITIVE).
     let mut f = (n as f64 * q.ln()).exp();
@@ -178,11 +181,13 @@ pub fn hypergeometric<R: Rng>(rng: &mut R, total: u64, marked: u64, draws: u64) 
     //   x ≡ n − H(N, N−K, n)   (complement the marking)
     //   x ≡ K − H(N, K, N−n)   (complement the sample)
     // Reduce so both the marked count and the draw count are ≤ N/2, which
-    // pins the lower support bound at 0 and keeps the walk short.
-    if marked * 2 > total {
+    // pins the lower support bound at 0 and keeps the walk short. The
+    // half-checks divide instead of doubling (`marked * 2` silently wraps
+    // for populations above 2^63).
+    if marked > total / 2 {
         return draws - hypergeometric(rng, total, total - marked, draws);
     }
-    if draws * 2 > total {
+    if draws > total / 2 {
         return marked - hypergeometric(rng, total, marked, total - draws);
     }
     // The marked count and the sample size are exchangeable
@@ -299,7 +304,10 @@ pub fn draw_without_replacement<R: Rng>(
             // Only this slot's mass remains: all outstanding draws land here.
             draws_left
         } else {
-            let lo = (draws_left + c).saturating_sub(total_left);
+            // Support lower bound max(0, draws + c − total), computed as a
+            // subtraction from the invariant `total_left ≥ c` — the naive
+            // `draws_left + c` wraps when both are near u64::MAX.
+            let lo = draws_left.saturating_sub(total_left - c);
             let hi = c.min(draws_left);
             hypergeometric(rng, total_left, c, draws_left).clamp(lo, hi)
         };
@@ -586,6 +594,98 @@ mod tests {
             let rel = (s as f64 - expect).abs() / expect;
             assert!(rel < 0.05, "slot {j}: {s} vs {expect}");
         }
+    }
+
+    #[test]
+    fn hypergeometric_huge_population_no_overflow() {
+        // Populations above 2^63: the symmetry half-checks and the support
+        // arithmetic must not wrap (debug builds panic on overflow — this
+        // test is the regression gate for the old `marked * 2` forms).
+        let mut rng = SmallRng::seed_from_u64(40);
+        let total = (1u64 << 63) + 12_345;
+        // marked > total/2: the marking-complement reduction fires.
+        let marked = total - 3;
+        for _ in 0..100 {
+            let x = hypergeometric(&mut rng, total, marked, 10);
+            // Support: lo = max(0, 10 + marked − total) = 7.
+            assert!((7..=10).contains(&x), "H(huge) = {x}");
+        }
+        // draws > total/2: the sample-complement reduction fires.
+        let draws = total - 5;
+        for _ in 0..100 {
+            let x = hypergeometric(&mut rng, total, 7, draws);
+            // Support: lo = max(0, draws + 7 − total) = 2.
+            assert!((2..=7).contains(&x), "H(huge draws) = {x}");
+        }
+    }
+
+    #[test]
+    fn binomial_full_range_population_no_overflow() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        // Tiny p keeps the draw in the exact inverse-CDF branch, where the
+        // old `(n + 1)` seed wrapped at n = u64::MAX.
+        for _ in 0..100 {
+            let x = binomial(&mut rng, u64::MAX, 1e-21);
+            assert!(x < 1_000, "binomial(u64::MAX, 1e-21) = {x}");
+        }
+        // Normal branch at astronomical mean: stays in support, no panic.
+        for _ in 0..100 {
+            let _ = binomial(&mut rng, u64::MAX, 0.75);
+        }
+    }
+
+    #[test]
+    fn draw_without_replacement_huge_pools_no_overflow() {
+        // Near-total draws from pools summing to ~u64::MAX: the support
+        // lower bound used to be computed as `draws + c`, which wraps.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let (a, b) = (1u64 << 63, (1u64 << 63) - 2);
+        let mut pool = vec![a, b];
+        let mut total = a + b; // u64::MAX − 1
+        let draws = total - 1;
+        let mut out = Vec::new();
+        draw_without_replacement(&mut rng, draws, &mut pool, &mut total, &mut out);
+        assert_eq!(out.iter().sum::<u64>(), draws);
+        assert_eq!(total, 1);
+        assert_eq!(pool.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn hypergeometric_boundary_population_2_pow_30() {
+        // The ISSUE's boundary population: exact mean at n = 2^30 where
+        // every count still fits f64 exactly; pins that the widened
+        // arithmetic did not disturb the distribution.
+        let mut rng = SmallRng::seed_from_u64(43);
+        let (nn, kk, n) = (1u64 << 30, 1u64 << 29, 1u64 << 10);
+        let reps = 4_000;
+        let sum: u64 = (0..reps).map(|_| hypergeometric(&mut rng, nn, kk, n)).sum();
+        let mean = sum as f64 / reps as f64;
+        let expect = n as f64 * 0.5;
+        let se = (expect * 0.5 / reps as f64).sqrt();
+        assert!((mean - expect).abs() < 6.0 * se, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn adaptive_boundary_at_default_min_population() {
+        // Pin the fallback boundary semantics: populations *strictly
+        // below* `min_population` run per-step; at exactly 4096 the
+        // default policy batches 4096 >> 6 = 64.
+        let p = BatchPolicy::adaptive();
+        assert_eq!(p.batch_size(4095), 1);
+        assert_eq!(p.batch_size(4096), 64);
+        assert_eq!(p.batch_size(4097), 64);
+    }
+
+    #[test]
+    fn adaptive_batch_size_one_above_cutoff() {
+        // A shift so large that n >> shift = 0 degenerates to batch size
+        // 1 (per-step) even above min_population — never 0.
+        let p = BatchPolicy::Adaptive {
+            shift: 63,
+            min_population: 4096,
+        };
+        assert_eq!(p.batch_size(1 << 20), 1);
+        assert_eq!(p.batch_size(u64::MAX), 1);
     }
 
     #[test]

@@ -1,0 +1,681 @@
+//! Compiled transition tables for factored protocols.
+//!
+//! The per-interaction cost of a rich protocol like GSU19 is dominated by
+//! re-deriving structure that never changes: the clock update re-checks
+//! junta membership and circular-max arithmetic, the role rules re-match a
+//! deep enum tree, and the urn engines round-trip through the codec. For
+//! the protocols in this repository the full transition function *factors*:
+//!
+//! * a state id splits as `bucket · P + phase` (role × clock phase);
+//! * the responder's **phase** update depends on the two phases and on the
+//!   responder's bucket only through a small *phase class* (junta member vs
+//!   follower), and the initiator's phase never changes;
+//! * the **bucket** (role) updates of both agents depend on the two buckets
+//!   and on the phases only through a small *tick class* of the responder's
+//!   phase update (passed zero / early half / late half / neither).
+//!
+//! [`CompiledProtocol`] exploits this: it probes the dynamic transition
+//! once per `(phase class, phase, phase)` triple and once per
+//! `(bucket, bucket, tick class)` triple, bakes the answers into dense
+//! `u32` lookup tables, and replays them at memory speed. States are dense
+//! `u32` ids (`bucket << pb | phase`), so the compiled protocol drops into
+//! [`crate::AgentSim`], [`crate::UrnSim`] and the batched sampling path
+//! unchanged — with no codec work left in the hot loop.
+//!
+//! The role-pair table holds `tick_class_count()` entries per
+//! (responder bucket, initiator bucket) pair. Pairs are compiled in
+//! enumeration order until a configurable entry budget is exhausted
+//! ([`CompiledProtocol::with_budget`]); any pair beyond the budget falls
+//! back to the dynamic transition (decode → `P::transition` → encode), so
+//! correctness never depends on the budget. The factorisation contract
+//! itself is *checked, not trusted*: table construction `debug_assert`s
+//! the contract at every probed representative, and the repository's
+//! equivalence suite (`tests/compiled_equivalence.rs`) compares compiled
+//! and dynamic transitions exhaustively at small parameters and by seeded
+//! sampling at paper scale.
+
+use std::sync::Arc;
+
+use crate::protocol::{EnumerableProtocol, Output, Protocol};
+
+/// A protocol whose transition function factors through a (bucket, phase)
+/// state split — the contract [`CompiledProtocol`] compiles against.
+///
+/// Implementations guarantee, for every reachable state pair:
+///
+/// 1. **Dense factored ids**: `state_id = bucket * phase_count() + phase`
+///    with `num_states() = bucket_count * phase_count()`.
+/// 2. **Initiator phase is preserved** by the transition.
+/// 3. **Responder phase update** is a function of
+///    `(phase_class(responder bucket), responder phase, initiator phase)`
+///    alone.
+/// 4. **Bucket updates** of both agents are functions of
+///    `(responder bucket, initiator bucket,
+///    tick_class(old responder phase, new responder phase))` alone.
+///
+/// Violating the contract cannot crash the compiled protocol but makes it
+/// simulate a different chain; the equivalence suite exists to catch that.
+pub trait FactoredProtocol: EnumerableProtocol {
+    /// Number of clock phases `P` per bucket. `num_states()` must be a
+    /// multiple of this.
+    fn phase_count(&self) -> usize;
+
+    /// Number of distinct phase-dynamics classes (e.g. 2: follower /
+    /// junta).
+    fn phase_class_count(&self) -> usize;
+
+    /// Phase-dynamics class of a bucket, in `0..phase_class_count()`.
+    /// Buckets of the same class update their phase identically.
+    fn phase_class(&self, bucket: usize) -> usize;
+
+    /// Number of distinct tick classes the bucket rules can observe.
+    fn tick_class_count(&self) -> usize;
+
+    /// Tick class of a responder phase update `old → new`, in
+    /// `0..tick_class_count()`. Must be a pure function of the two phases.
+    fn tick_class(&self, old_phase: usize, new_phase: usize) -> usize;
+}
+
+/// Shared immutable compiled tables (cheap to clone across trials).
+///
+/// All tables use power-of-two strides so the hot-loop indexing is pure
+/// shifts and masks: the phase table is padded to `1 << pb` per phase
+/// dimension, the role tables to `1 << tb` entries per pair.
+///
+/// The role table is split to keep the *randomly accessed* bytes small:
+/// the responder's new bucket is a dense `u16` table (the per-step load),
+/// while the initiator's new bucket — which differs from its old bucket
+/// only for a handful of pair kinds (partition rules, leader duels) — is
+/// flagged by the responder entry's top bit and kept in a parallel table
+/// whose cache lines stay cold on the overwhelming majority of steps.
+struct Tables {
+    /// `(new_phase | tick_class << 16)` indexed by
+    /// `class_row[bucket] | old_phase << pb | initiator_phase`.
+    phase: Vec<u32>,
+    /// Responder's new bucket (low 15 bits) indexed by
+    /// `(responder_bucket * B + initiator_bucket) << tb | tick_class`;
+    /// the top bit ([`INIT_CHANGED`]) signals that the initiator's bucket
+    /// changes too and `role_init` must be consulted.
+    role_resp: Vec<u16>,
+    /// Initiator's new bucket, same indexing as `role_resp`; only read
+    /// when the [`INIT_CHANGED`] flag is set.
+    role_init: Vec<u16>,
+    /// Per-(pair, tick) inert bitmap, one bit per `role_resp` entry
+    /// (same indexing, bit `idx & 63` of word `idx >> 6`): set when the
+    /// entry changes neither bucket. In the late-simulation regime most
+    /// steps hit inert entries (deactivated agents, stopped coins,
+    /// withdrawn leaders outside the round boundary), so the role lookup
+    /// resolves from a few hot cache lines — and the branch predicts
+    /// well — without touching the big tables. One cache line covers 128
+    /// role pairs. (A coarser per-pair bitmap checked *before* the tick
+    /// was measured slower: it splits the hot loop into two poorly
+    /// predicted branches.)
+    inert: Vec<u64>,
+    /// Pre-shifted phase-table base per bucket:
+    /// `phase_class(bucket) << (2 * pb)`.
+    class_row: Vec<u32>,
+    /// Output per packed state id (`B << pb` entries).
+    output: Vec<Output>,
+}
+
+/// Top bit of a `role_resp` entry: the initiator's bucket changes.
+const INIT_CHANGED: u16 = 1 << 15;
+
+/// A protocol compiled into dense transition tables. See the module docs.
+///
+/// `State` is the packed dense id `bucket << pb | phase` (`pb` =
+/// `ceil(log2(phase_count))`), so simulations run on `u32`s; use
+/// [`CompiledProtocol::decode_state`] / [`CompiledProtocol::encode_state`]
+/// to translate to the inner protocol's states for inspection (census,
+/// traces).
+pub struct CompiledProtocol<P: FactoredProtocol> {
+    inner: P,
+    /// Phase count `P` of the inner protocol.
+    phases: u32,
+    /// Bucket count `B`.
+    buckets: u32,
+    /// Phase bits: ids pack as `bucket << pb | phase`.
+    pb: u32,
+    /// `(1 << pb) - 1`.
+    pmask: u32,
+    /// Tick-class bits: role-table entries per pair = `1 << tb`.
+    tb: u32,
+    /// Pairs `0..compiled_pairs` have role-table entries; the rest take
+    /// the dynamic fallback.
+    compiled_pairs: usize,
+    tables: Arc<Tables>,
+    initial_id: u32,
+}
+
+impl<P: FactoredProtocol + Clone> Clone for CompiledProtocol<P> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            tables: Arc::clone(&self.tables),
+            ..*self
+        }
+    }
+}
+
+impl<P: FactoredProtocol> CompiledProtocol<P> {
+    /// Default role-table budget, in entries (4 bytes each): 2^24 entries
+    /// = 64 MiB, enough to fully compile GSU19 at every population this
+    /// repository simulates (B ≈ 1.5k buckets ⇒ ~9M entries at n = 2^30).
+    pub const DEFAULT_TABLE_BUDGET: usize = 1 << 24;
+
+    /// Compile `inner` with the default table budget.
+    ///
+    /// # Panics
+    /// Panics if the factored dimensions are inconsistent
+    /// (`num_states` not a multiple of `phase_count`) or too large to pack
+    /// (`bucket_count` or `phase_count` above 2^16, or packed ids beyond
+    /// `u32`).
+    pub fn new(inner: P) -> Self {
+        Self::with_budget(inner, Self::DEFAULT_TABLE_BUDGET)
+    }
+
+    /// Compile `inner`, bounding the role table to at most
+    /// `table_budget_entries` entries. Role pairs beyond the budget fall
+    /// back to the dynamic transition; `table_budget_entries = 0` compiles
+    /// the phase table only.
+    pub fn with_budget(inner: P, table_budget_entries: usize) -> Self {
+        let phases = inner.phase_count();
+        let states = inner.num_states();
+        assert!(phases >= 1, "phase_count must be positive");
+        assert_eq!(
+            states % phases,
+            0,
+            "num_states ({states}) must factor as buckets × phases ({phases})"
+        );
+        let buckets = states / phases;
+        let classes = inner.phase_class_count().max(1);
+        let ticks = inner.tick_class_count().max(1);
+        assert!(
+            buckets < 1 << 15 && phases <= 1 << 16 && ticks <= 1 << 16,
+            "factored dimensions exceed the table packing (B={buckets} must be < 2^15, \
+             P={phases} and T={ticks} must be ≤ 2^16)"
+        );
+        let pb = if phases > 1 {
+            usize::BITS - (phases - 1).leading_zeros()
+        } else {
+            0
+        };
+        let tb = if ticks > 1 {
+            usize::BITS - (ticks - 1).leading_zeros()
+        } else {
+            0
+        };
+        assert!(
+            (buckets as u64) << pb <= 1 << 32,
+            "packed state ids exceed u32 (B={buckets}, pb={pb})"
+        );
+        assert!(
+            (classes as u64) << (2 * pb) <= 1 << 32,
+            "phase table exceeds u32 indexing (classes={classes}, P={phases})"
+        );
+
+        // Per-bucket phase class, pre-shifted into a phase-table base,
+        // plus one representative bucket per class.
+        let mut class_row = Vec::with_capacity(buckets);
+        let mut rep_bucket: Vec<Option<usize>> = vec![None; classes];
+        for b in 0..buckets {
+            let c = inner.phase_class(b);
+            assert!(c < classes, "phase_class({b}) = {c} out of range");
+            class_row.push((c << (2 * pb)) as u32);
+            rep_bucket[c].get_or_insert(b);
+        }
+        let pidx = |c: usize, rp: usize, ip: usize| (c << (2 * pb)) | (rp << pb) | ip;
+
+        // Phase table: probe one representative responder bucket per class
+        // against an arbitrary initiator bucket (the contract makes the
+        // phase update independent of both buckets given the class).
+        // Collect a representative (old phase, initiator phase) pair per
+        // realisable (class, tick class) while we are at it.
+        let mut phase = vec![0u32; classes << (2 * pb)];
+        let mut tick_rep: Vec<Option<(usize, usize)>> = vec![None; classes * ticks];
+        for (c, rep) in rep_bucket.iter().enumerate() {
+            let Some(rb) = *rep else { continue };
+            for rp in 0..phases {
+                let r = inner.state_from_id(rb * phases + rp);
+                for ip in 0..phases {
+                    let i = inner.state_from_id(ip); // bucket 0
+                    let (rn, _) = inner.transition(r, i);
+                    let np = inner.state_id(rn) % phases;
+                    let t = inner.tick_class(rp, np);
+                    debug_assert!(t < ticks, "tick_class out of range");
+                    phase[pidx(c, rp, ip)] = (np as u32) | ((t as u32) << 16);
+                    tick_rep[c * ticks + t].get_or_insert((rp, ip));
+                }
+            }
+        }
+
+        // Role-pair tables, in pair-enumeration order up to the budget.
+        let total_pairs = buckets * buckets;
+        let compiled_pairs = total_pairs.min(table_budget_entries >> tb);
+        let mut role_resp = vec![0u16; compiled_pairs << tb];
+        let mut role_init = vec![0u16; compiled_pairs << tb];
+        let mut inert = vec![0u64; (compiled_pairs << tb).div_ceil(64)];
+        for pair in 0..compiled_pairs {
+            let (rb, ib) = (pair / buckets, pair % buckets);
+            let c = (class_row[rb] as usize) >> (2 * pb);
+            for t in 0..ticks {
+                let (rb2, ib2) = match tick_rep[c * ticks + t] {
+                    // Tick class never realised for this phase class: the
+                    // entry is unreachable; store the identity.
+                    None => (rb, ib),
+                    Some((rp, ip)) => {
+                        let r = inner.state_from_id(rb * phases + rp);
+                        let i = inner.state_from_id(ib * phases + ip);
+                        let (rn, inew) = inner.transition(r, i);
+                        let (rn_id, in_id) = (inner.state_id(rn), inner.state_id(inew));
+                        // Contract checks at the probed representative:
+                        // initiator keeps its phase, responder phase
+                        // matches the phase table.
+                        debug_assert_eq!(in_id % phases, ip, "initiator phase changed");
+                        debug_assert_eq!(
+                            rn_id % phases,
+                            (phase[pidx(c, rp, ip)] & 0xFFFF) as usize,
+                            "responder phase depends on buckets beyond the phase class"
+                        );
+                        (rn_id / phases, in_id / phases)
+                    }
+                };
+                let idx = (pair << tb) | t;
+                role_resp[idx] = rb2 as u16 | if ib2 != ib { INIT_CHANGED } else { 0 };
+                role_init[idx] = ib2 as u16;
+                if rb2 == rb && ib2 == ib {
+                    inert[idx >> 6] |= 1 << (idx & 63);
+                }
+            }
+        }
+
+        // Output per packed id; padding phases (≥ P) alias phase 0 so the
+        // table is total (those ids never occur, but `UrnSim::new`
+        // enumerates them).
+        let padded = buckets << pb;
+        let mut output = Vec::with_capacity(padded);
+        for id in 0..padded {
+            let (b, ph) = (id >> pb, id & ((1usize << pb) - 1));
+            let ph = if ph < phases { ph } else { 0 };
+            output.push(inner.output(inner.state_from_id(b * phases + ph)));
+        }
+
+        let init = inner.state_id(inner.initial_state());
+        let initial_id = (((init / phases) as u32) << pb) | (init % phases) as u32;
+        Self {
+            inner,
+            phases: phases as u32,
+            buckets: buckets as u32,
+            pb,
+            pmask: if pb == 0 { 0 } else { (1u32 << pb) - 1 },
+            tb,
+            compiled_pairs,
+            tables: Arc::new(Tables {
+                phase,
+                role_resp,
+                role_init,
+                inert,
+                class_row,
+                output,
+            }),
+            initial_id,
+        }
+    }
+
+    /// The wrapped dynamic protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Number of (responder bucket, initiator bucket) pairs served by the
+    /// compiled role table; the remaining `bucket_count()² −
+    /// compiled_pairs()` pairs take the dynamic fallback.
+    pub fn compiled_pairs(&self) -> usize {
+        self.compiled_pairs
+    }
+
+    /// Whether every role pair is table-served (no dynamic fallback).
+    pub fn is_fully_compiled(&self) -> bool {
+        self.compiled_pairs == (self.buckets as usize) * (self.buckets as usize)
+    }
+
+    /// Total compiled table entries (phase + the two role tables).
+    pub fn table_entries(&self) -> usize {
+        self.tables.phase.len() + self.tables.role_resp.len() + self.tables.role_init.len()
+    }
+
+    /// Number of buckets `B`.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets as usize
+    }
+
+    /// Inner-protocol state of a packed id.
+    pub fn decode_state(&self, s: u32) -> P::State {
+        let b = (s >> self.pb) as usize;
+        let ph = (s & self.pmask) as usize;
+        self.inner.state_from_id(b * self.phases as usize + ph)
+    }
+
+    /// Packed id of an inner-protocol state.
+    pub fn encode_state(&self, s: P::State) -> u32 {
+        let id = self.inner.state_id(s);
+        (((id / self.phases as usize) as u32) << self.pb) | (id % self.phases as usize) as u32
+    }
+}
+
+impl<P: FactoredProtocol> Protocol for CompiledProtocol<P> {
+    type State = u32;
+
+    fn initial_state(&self) -> u32 {
+        self.initial_id
+    }
+
+    #[inline]
+    fn transition(&self, r: u32, i: u32) -> (u32, u32) {
+        let rb = r >> self.pb;
+        let rp = r & self.pmask;
+        let ib = i >> self.pb;
+        let ip = i & self.pmask;
+        let pair = rb as usize * self.buckets as usize + ib as usize;
+        if pair < self.compiled_pairs {
+            let t = &*self.tables;
+            let pe = t.phase[(t.class_row[rb as usize] | (rp << self.pb) | ip) as usize];
+            let np = pe & 0xFFFF;
+            let tick = (pe >> 16) as usize;
+            let idx = (pair << self.tb) | tick;
+            // Inert fast path: neither bucket changes, and the bitmap's
+            // working set is a few hot cache lines.
+            if t.inert[idx >> 6] & (1 << (idx & 63)) != 0 {
+                return ((rb << self.pb) | np, i);
+            }
+            let re = t.role_resp[idx];
+            let rb2 = (re & !INIT_CHANGED) as u32;
+            // The initiator's bucket changes only for a handful of pair
+            // kinds; keep its table out of the hot cache footprint.
+            let ib2 = if re & INIT_CHANGED != 0 {
+                t.role_init[idx] as u32
+            } else {
+                ib
+            };
+            ((rb2 << self.pb) | np, (ib2 << self.pb) | ip)
+        } else {
+            let p = self.phases as usize;
+            let (rn, inew) = self.inner.transition(
+                self.inner.state_from_id(rb as usize * p + rp as usize),
+                self.inner.state_from_id(ib as usize * p + ip as usize),
+            );
+            let (rn_id, in_id) = (self.inner.state_id(rn), self.inner.state_id(inew));
+            (
+                (((rn_id / p) as u32) << self.pb) | (rn_id % p) as u32,
+                (((in_id / p) as u32) << self.pb) | (in_id % p) as u32,
+            )
+        }
+    }
+
+    #[inline]
+    fn output(&self, s: u32) -> Output {
+        self.tables.output[s as usize]
+    }
+}
+
+impl<P: FactoredProtocol> EnumerableProtocol for CompiledProtocol<P> {
+    /// Packed id space `B << pb`; ids whose phase part is ≥ `P` are
+    /// padding and never occur (permitted by the trait contract).
+    fn num_states(&self) -> usize {
+        (self.buckets as usize) << self.pb
+    }
+
+    fn state_id(&self, state: u32) -> usize {
+        state as usize
+    }
+
+    fn state_from_id(&self, id: usize) -> u32 {
+        id as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent_sim::AgentSim;
+    use crate::protocol::Simulator;
+    use crate::urn::UrnSim;
+
+    /// Toy factored protocol: a token game on a `P`-phase clock.
+    ///
+    /// Buckets: 0 = Idle, 1 = Token, 2 = Sink. The responder adopts the
+    /// forward phase (`max`); when its update lands on the last phase
+    /// ("boundary" tick class) a Token responder hands the token to the
+    /// initiator (unless the initiator is a Sink, which swallows it).
+    #[derive(Clone, Copy)]
+    struct TokenGame {
+        phases: usize,
+    }
+
+    const IDLE: usize = 0;
+    const TOKEN: usize = 1;
+    const SINK: usize = 2;
+
+    impl TokenGame {
+        fn split(&self, s: (usize, usize)) -> (usize, usize) {
+            s
+        }
+    }
+
+    impl Protocol for TokenGame {
+        type State = (usize, usize); // (bucket, phase)
+
+        fn initial_state(&self) -> Self::State {
+            (TOKEN, 0)
+        }
+
+        fn transition(&self, r: Self::State, i: Self::State) -> (Self::State, Self::State) {
+            let ((rb, rp), (ib, ip)) = (self.split(r), self.split(i));
+            let np = rp.max(ip);
+            let boundary = np == self.phases - 1;
+            let (rb2, ib2) = if boundary && rb == TOKEN {
+                if ib == SINK {
+                    (IDLE, SINK)
+                } else {
+                    (IDLE, TOKEN)
+                }
+            } else {
+                (rb, ib)
+            };
+            ((rb2, np), (ib2, ip))
+        }
+
+        fn output(&self, s: Self::State) -> Output {
+            if s.0 == TOKEN {
+                Output::Leader
+            } else {
+                Output::Follower
+            }
+        }
+    }
+
+    impl EnumerableProtocol for TokenGame {
+        fn num_states(&self) -> usize {
+            3 * self.phases
+        }
+        fn state_id(&self, s: Self::State) -> usize {
+            s.0 * self.phases + s.1
+        }
+        fn state_from_id(&self, id: usize) -> Self::State {
+            (id / self.phases, id % self.phases)
+        }
+    }
+
+    impl FactoredProtocol for TokenGame {
+        fn phase_count(&self) -> usize {
+            self.phases
+        }
+        fn phase_class_count(&self) -> usize {
+            1
+        }
+        fn phase_class(&self, _bucket: usize) -> usize {
+            0
+        }
+        fn tick_class_count(&self) -> usize {
+            2
+        }
+        fn tick_class(&self, _old: usize, new: usize) -> usize {
+            (new == self.phases - 1) as usize
+        }
+    }
+
+    fn game() -> TokenGame {
+        TokenGame { phases: 12 }
+    }
+
+    #[test]
+    fn compiled_matches_dynamic_exhaustively() {
+        let p = game();
+        let c = CompiledProtocol::new(p);
+        assert!(c.is_fully_compiled());
+        for r in 0..p.num_states() {
+            for i in 0..p.num_states() {
+                let rs = p.state_from_id(r);
+                let is = p.state_from_id(i);
+                let (dn_r, dn_i) = p.transition(rs, is);
+                let (cn_r, cn_i) = c.transition(c.encode_state(rs), c.encode_state(is));
+                assert_eq!(c.decode_state(cn_r), dn_r, "responder at ({rs:?}, {is:?})");
+                assert_eq!(c.decode_state(cn_i), dn_i, "initiator at ({rs:?}, {is:?})");
+                assert_eq!(c.output(cn_r), p.output(dn_r));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_fallback_is_equivalent() {
+        let p = game();
+        // Budget for 4 of the 9 pairs: the rest take the dynamic path.
+        let c = CompiledProtocol::with_budget(p, 8);
+        assert_eq!(c.compiled_pairs(), 4);
+        assert!(!c.is_fully_compiled());
+        let full = CompiledProtocol::new(p);
+        for r in 0..p.num_states() {
+            for i in 0..p.num_states() {
+                let rc = c.encode_state(p.state_from_id(r));
+                let ic = c.encode_state(p.state_from_id(i));
+                assert_eq!(c.transition(rc, ic), full.transition(rc, ic));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_fully_dynamic_and_equivalent() {
+        let p = game();
+        let c = CompiledProtocol::with_budget(p, 0);
+        assert_eq!(c.compiled_pairs(), 0);
+        for r in 0..p.num_states() {
+            for i in 0..p.num_states() {
+                let rs = p.state_from_id(r);
+                let is = p.state_from_id(i);
+                let (dn_r, dn_i) = p.transition(rs, is);
+                let (cn_r, cn_i) = c.transition(c.encode_state(rs), c.encode_state(is));
+                assert_eq!((c.decode_state(cn_r), c.decode_state(cn_i)), (dn_r, dn_i));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_ids_roundtrip() {
+        let p = game();
+        let c = CompiledProtocol::new(p);
+        for id in 0..p.num_states() {
+            let s = p.state_from_id(id);
+            assert_eq!(c.decode_state(c.encode_state(s)), s);
+        }
+        // The packed space may be padded, never smaller.
+        assert!(c.num_states() >= p.num_states());
+        assert_eq!(c.initial_state(), c.encode_state(p.initial_state()));
+    }
+
+    #[test]
+    fn agent_sim_runs_compiled() {
+        let p = game();
+        let c = CompiledProtocol::new(p);
+        let mut sim = AgentSim::new(c, 64, 7);
+        assert_eq!(sim.leaders(), 64);
+        sim.steps(20_000);
+        // Tokens are only ever passed or swallowed, never duplicated.
+        assert!(sim.leaders() <= 64);
+        assert_eq!(sim.output_counts().iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn urn_sim_runs_compiled_and_matches_agent_outputs() {
+        let p = game();
+        let c = CompiledProtocol::new(p);
+        let mut urn = UrnSim::new(c.clone(), 256, 11);
+        urn.steps(50_000);
+        assert_eq!(urn.output_counts().iter().sum::<u64>(), 256);
+        // Decode the urn contents back to inner states: population must be
+        // conserved bucket-wise.
+        let mut total = 0;
+        urn.for_each_state(&mut |s, k| {
+            let (b, ph) = c.decode_state(s);
+            assert!(b <= SINK && ph < 12);
+            total += k;
+        });
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn table_entry_accounting() {
+        let p = game();
+        let c = CompiledProtocol::new(p);
+        // 1 class × (16 padded phases)² + 2 × (9 pairs × 2 padded ticks).
+        assert_eq!(c.table_entries(), 256 + 36);
+        assert_eq!(c.bucket_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn inconsistent_phase_count_rejected() {
+        #[derive(Clone, Copy)]
+        struct Bad;
+        impl Protocol for Bad {
+            type State = u8;
+            fn initial_state(&self) -> u8 {
+                0
+            }
+            fn transition(&self, r: u8, i: u8) -> (u8, u8) {
+                (r, i)
+            }
+            fn output(&self, _: u8) -> Output {
+                Output::Follower
+            }
+        }
+        impl EnumerableProtocol for Bad {
+            fn num_states(&self) -> usize {
+                7
+            }
+            fn state_id(&self, s: u8) -> usize {
+                s as usize
+            }
+            fn state_from_id(&self, id: usize) -> u8 {
+                id as u8
+            }
+        }
+        impl FactoredProtocol for Bad {
+            fn phase_count(&self) -> usize {
+                3
+            }
+            fn phase_class_count(&self) -> usize {
+                1
+            }
+            fn phase_class(&self, _: usize) -> usize {
+                0
+            }
+            fn tick_class_count(&self) -> usize {
+                1
+            }
+            fn tick_class(&self, _: usize, _: usize) -> usize {
+                0
+            }
+        }
+        let _ = CompiledProtocol::new(Bad);
+    }
+}

@@ -38,6 +38,14 @@
 //! (`run_until_with`, `run_until_stable_with`, `sample_every_with`) that
 //! bounds predicate-check overshoot by one batch.
 //!
+//! Orthogonally, protocols whose transition factors through a
+//! (role bucket, clock phase) state split can be **compiled** into dense
+//! lookup tables ([`compiled::CompiledProtocol`], trait
+//! [`compiled::FactoredProtocol`]): the phase update and the role rules
+//! are probed once and replayed at memory speed, with states as dense
+//! `u32` ids. A compiled protocol drops into either engine (and the
+//! batched path) unchanged.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -66,6 +74,7 @@
 pub mod adversary;
 pub mod agent_sim;
 pub mod batch;
+pub mod compiled;
 pub mod fenwick;
 pub mod parallel;
 pub mod protocol;
@@ -79,6 +88,7 @@ pub mod urn;
 pub use adversary::{AdversarialSim, Blackout, Perturbation, Throttle};
 pub use agent_sim::AgentSim;
 pub use batch::BatchPolicy;
+pub use compiled::{CompiledProtocol, FactoredProtocol};
 pub use fenwick::Fenwick;
 pub use parallel::{run_trials, run_trials_threads};
 pub use protocol::{EnumerableProtocol, Output, Protocol, Simulator};
@@ -98,6 +108,7 @@ pub use urn::UrnSim;
 pub mod prelude {
     pub use crate::agent_sim::AgentSim;
     pub use crate::batch::BatchPolicy;
+    pub use crate::compiled::{CompiledProtocol, FactoredProtocol};
     pub use crate::parallel::run_trials;
     pub use crate::protocol::{EnumerableProtocol, Output, Protocol, Simulator};
     pub use crate::runner::{

@@ -228,6 +228,25 @@ mod tests {
     }
 
     #[test]
+    fn batched_predicate_overshoot_is_at_most_one_batch() {
+        // Stopping predicates are checked at batch boundaries: the first
+        // check at or after the hit, never more than one batch late.
+        let policy = BatchPolicy::Adaptive {
+            shift: 6,
+            min_population: 64,
+        };
+        let n = 4096usize;
+        let batch = policy.batch_size(n as u64);
+        assert_eq!(batch, 64);
+        let target = 1_000u64; // deliberately not a multiple of the batch
+        let mut sim = AgentSim::new(Slow, n, 3);
+        let res = run_until_with(&mut sim, &policy, 1 << 20, |s| s.interactions() >= target);
+        assert!(res.converged);
+        assert_eq!(res.interactions, target.div_ceil(batch) * batch);
+        assert!(res.interactions - target < batch, "overshoot > one batch");
+    }
+
+    #[test]
     fn parallel_time_consistency() {
         let mut sim = AgentSim::new(Slow, 100, 9);
         let res = run_until_stable(&mut sim, 10_000_000);

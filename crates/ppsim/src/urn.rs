@@ -205,8 +205,10 @@ impl<P: EnumerableProtocol> UrnSim<P> {
         while left > 0 {
             let b = policy.batch_size(self.population).min(left);
             // Batches need 2b ≤ n distinct agents; tiny remainders are
-            // cheaper sequentially than through the batch machinery.
-            if b < 4 || 2 * b > self.population {
+            // cheaper sequentially than through the batch machinery. The
+            // half-check divides rather than doubling so hand-built
+            // policies can never wrap it.
+            if b < 4 || b > self.population / 2 {
                 self.step();
                 left -= 1;
                 continue;
@@ -303,7 +305,9 @@ impl<P: EnumerableProtocol> UrnSim<P> {
                 let m = if total_left == c {
                     draws_left
                 } else {
-                    let lo = (draws_left + c).saturating_sub(total_left);
+                    // Overflow-safe form of max(0, draws + c − total); see
+                    // `draw_without_replacement`.
+                    let lo = draws_left.saturating_sub(total_left - c);
                     let hi = c.min(draws_left);
                     hypergeometric(&mut self.rng, total_left, c, draws_left).clamp(lo, hi)
                 };
@@ -555,6 +559,40 @@ mod tests {
             let rel = (sim.leaders() as f64 - expected).abs() / expected;
             assert!(rel < 0.2, "t={t}: {} vs {expected:.0}", sim.leaders());
         }
+    }
+
+    #[test]
+    fn batched_at_exactly_min_population_batches() {
+        // n = 4096 = DEFAULT_MIN_POPULATION: the boundary is "strictly
+        // below", so at exactly 4096 the default policy batches (64 per
+        // block) and stopping times are quantised to batch boundaries.
+        let n = 4096u64;
+        let policy = BatchPolicy::adaptive();
+        assert_eq!(policy.batch_size(n), 64);
+        let mut sim = UrnSim::new(Slow, n, 77);
+        let res = run_until_stable_with(&mut sim, &policy, 1 << 40);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+        assert_eq!(res.interactions % 64, 0, "not batch-aligned");
+    }
+
+    #[test]
+    fn batch_size_one_consumes_rng_like_per_step() {
+        // An adaptive policy whose batch degenerates to 1 (huge shift)
+        // must take the exact sequential path: bit-identical
+        // configurations, not just statistical agreement.
+        let policy = BatchPolicy::Adaptive {
+            shift: 63,
+            min_population: 2,
+        };
+        assert_eq!(policy.batch_size(4096), 1);
+        let mut batched = UrnSim::new(Slow, 4096, 23);
+        let mut sequential = UrnSim::new(Slow, 4096, 23);
+        batched.steps_batched(10_000, &policy);
+        sequential.steps(10_000);
+        assert_eq!(batched.nonzero_counts(), sequential.nonzero_counts());
+        assert_eq!(batched.output_counts(), sequential.output_counts());
+        assert_eq!(batched.interactions(), sequential.interactions());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! (default `agent`): `urn` is the exact count-based simulator, and
 //! `urn-batched` samples whole interaction batches at once (see
 //! `ppsim::batch`) — the only engine that makes populations of 2^30 and
-//! beyond interactive.
+//! beyond interactive. The additional `--compiled` flag (gsu19 and gs18)
+//! runs the chosen engine on the protocol's compiled transition tables
+//! (`ppsim::compiled`), the fast path for agent-array simulations.
 //!
 //! Hand-rolled argument parsing (the repository keeps its dependency set
 //! to the simulation essentials).
@@ -21,6 +23,7 @@ use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppsim::stats::Summary;
 use population_protocols::ppsim::table::{fnum, Table};
+use population_protocols::ppsim::CompiledProtocol;
 use population_protocols::ppsim::{
     run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, EnumerableProtocol,
     Simulator, UrnSim,
@@ -51,14 +54,16 @@ fn print_help() {
         "ppctl — leader election in population protocols (GSU19 reproduction)\n\n\
          commands:\n\
          \x20 params --n N                         show derived parameters\n\
-         \x20 elect  --protocol P --n N [--seed S] [--engine E]\n\
+         \x20 elect  --protocol P --n N [--seed S] [--engine E] [--compiled]\n\
          \x20                                      run one election\n\
-         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S] [--engine E]\n\
+         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S] [--engine E] [--compiled]\n\
          \x20                                      convergence table across n (doubling)\n\
-         \x20 census --n N [--at T] [--seed S] [--engine E]\n\
+         \x20 census --n N [--at T] [--seed S] [--engine E] [--compiled]\n\
          \x20                                      census snapshot at parallel time T\n\n\
          protocols: gsu19 (default) | gs18 | bkko18 | slow\n\
-         engines:   agent (default) | urn | urn-batched"
+         engines:   agent (default) | urn | urn-batched\n\
+         --compiled runs the engine on compiled transition tables\n\
+         \x20          (ppsim::compiled; gsu19 and gs18 only)"
     );
 }
 
@@ -138,6 +143,38 @@ fn parse_engine(args: &[String]) -> Option<Engine> {
     }
 }
 
+/// Presence of the `--compiled` flag (compiled transition tables).
+fn parse_compiled(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--compiled")
+}
+
+/// Protocols that support `--compiled`, pre-compiled once so that sweeps
+/// and trial loops clone the tables instead of rebuilding them.
+enum CompiledProto {
+    Gsu19(CompiledProtocol<Gsu19>),
+    Gs18(CompiledProtocol<Gs18>),
+}
+
+fn compile_protocol(protocol: &str, n: u64) -> Option<CompiledProto> {
+    match protocol {
+        "gsu19" => Some(CompiledProto::Gsu19(Gsu19::for_population(n).compiled())),
+        "gs18" => Some(CompiledProto::Gs18(Gs18::for_population(n).compiled())),
+        other => {
+            eprintln!("--compiled supports gsu19 | gs18 (got {other})");
+            None
+        }
+    }
+}
+
+impl CompiledProto {
+    fn run(&self, n: u64, seed: u64, engine: Engine) -> (bool, f64, u64) {
+        match self {
+            CompiledProto::Gsu19(p) => run_election(p.clone(), n, seed, engine),
+            CompiledProto::Gs18(p) => run_election(p.clone(), n, seed, engine),
+        }
+    }
+}
+
 fn run_election<P: EnumerableProtocol>(
     proto: P,
     n: u64,
@@ -171,14 +208,21 @@ fn cmd_elect(args: &[String]) -> i32 {
     let Some(engine) = parse_engine(args) else {
         return 2;
     };
-    let (ok, t, leaders) = match protocol {
-        "gsu19" => run_election(Gsu19::for_population(n), n, seed, engine),
-        "gs18" => run_election(Gs18::for_population(n), n, seed, engine),
-        "bkko18" => run_election(Bkko18::for_population(n), n, seed, engine),
-        "slow" => run_election(SlowLe, n, seed, engine),
-        other => {
-            eprintln!("unknown protocol: {other}");
+    let (ok, t, leaders) = if parse_compiled(args) {
+        let Some(proto) = compile_protocol(protocol, n) else {
             return 2;
+        };
+        proto.run(n, seed, engine)
+    } else {
+        match protocol {
+            "gsu19" => run_election(Gsu19::for_population(n), n, seed, engine),
+            "gs18" => run_election(Gs18::for_population(n), n, seed, engine),
+            "bkko18" => run_election(Bkko18::for_population(n), n, seed, engine),
+            "slow" => run_election(SlowLe, n, seed, engine),
+            other => {
+                eprintln!("unknown protocol: {other}");
+                return 2;
+            }
         }
     };
     if !ok {
@@ -203,6 +247,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let Some(engine) = parse_engine(args) else {
         return 2;
     };
+    let compiled = parse_compiled(args);
 
     let mut t = Table::new([
         "n",
@@ -215,12 +260,24 @@ fn cmd_sweep(args: &[String]) -> i32 {
     ]);
     let mut n = lo.max(64);
     while n <= hi {
+        // Compile once per population; trials clone the shared tables.
+        let pre = if compiled {
+            match compile_protocol(protocol, n) {
+                Some(p) => Some(p),
+                None => return 2,
+            }
+        } else {
+            None
+        };
         let times: Vec<f64> = run_trials(trials, seed, |_, s| {
-            let (_, t, _) = match protocol {
-                "gsu19" => run_election(Gsu19::for_population(n), n, s, engine),
-                "gs18" => run_election(Gs18::for_population(n), n, s, engine),
-                "bkko18" => run_election(Bkko18::for_population(n), n, s, engine),
-                _ => run_election(SlowLe, n, s, engine),
+            let (_, t, _) = match &pre {
+                Some(p) => p.run(n, s, engine),
+                None => match protocol {
+                    "gsu19" => run_election(Gsu19::for_population(n), n, s, engine),
+                    "gs18" => run_election(Gs18::for_population(n), n, s, engine),
+                    "bkko18" => run_election(Bkko18::for_population(n), n, s, engine),
+                    _ => run_election(SlowLe, n, s, engine),
+                },
             };
             t
         });
@@ -254,21 +311,43 @@ fn cmd_census(args: &[String]) -> i32 {
     let proto = Gsu19::for_population(n);
     let params = *proto.params();
     let interactions = (at * n as f64) as u64;
-    let c = match engine {
-        Engine::Agent => {
-            let mut sim = AgentSim::new(proto, n as usize, seed);
-            sim.steps(interactions);
-            Census::of(&sim, &params)
+    let c = if parse_compiled(args) {
+        let cp = proto.compiled();
+        let decode = |s| cp.decode_state(s);
+        match engine {
+            Engine::Agent => {
+                let mut sim = AgentSim::new(cp.clone(), n as usize, seed);
+                sim.steps(interactions);
+                Census::of_with(&sim, &params, decode)
+            }
+            Engine::Urn => {
+                let mut sim = UrnSim::new(cp.clone(), n, seed);
+                sim.steps(interactions);
+                Census::of_with(&sim, &params, decode)
+            }
+            Engine::UrnBatched => {
+                let mut sim = UrnSim::new(cp.clone(), n, seed);
+                sim.steps_batched(interactions, &BatchPolicy::adaptive());
+                Census::of_with(&sim, &params, decode)
+            }
         }
-        Engine::Urn => {
-            let mut sim = UrnSim::new(proto, n, seed);
-            sim.steps(interactions);
-            Census::of(&sim, &params)
-        }
-        Engine::UrnBatched => {
-            let mut sim = UrnSim::new(proto, n, seed);
-            sim.steps_batched(interactions, &BatchPolicy::adaptive());
-            Census::of(&sim, &params)
+    } else {
+        match engine {
+            Engine::Agent => {
+                let mut sim = AgentSim::new(proto, n as usize, seed);
+                sim.steps(interactions);
+                Census::of(&sim, &params)
+            }
+            Engine::Urn => {
+                let mut sim = UrnSim::new(proto, n, seed);
+                sim.steps(interactions);
+                Census::of(&sim, &params)
+            }
+            Engine::UrnBatched => {
+                let mut sim = UrnSim::new(proto, n, seed);
+                sim.steps_batched(interactions, &BatchPolicy::adaptive());
+                Census::of(&sim, &params)
+            }
         }
     };
     println!("census at parallel time {at} (n = {n}):");
@@ -324,5 +403,19 @@ mod tests {
             Some(Engine::UrnBatched)
         );
         assert_eq!(parse_engine(&args(&["--engine", "bogus"])), None);
+    }
+
+    #[test]
+    fn compiled_flag_parsing() {
+        assert!(!parse_compiled(&args(&["--engine", "agent"])));
+        assert!(parse_compiled(&args(&["--engine", "urn", "--compiled"])));
+    }
+
+    #[test]
+    fn compiled_protocol_support() {
+        assert!(compile_protocol("gsu19", 1 << 8).is_some());
+        assert!(compile_protocol("gs18", 1 << 8).is_some());
+        assert!(compile_protocol("bkko18", 1 << 8).is_none());
+        assert!(compile_protocol("slow", 1 << 8).is_none());
     }
 }

@@ -1,0 +1,271 @@
+//! Compiled-vs-dynamic transition equivalence — the correctness gate for
+//! `ppsim::compiled` (see ISSUE 3 / ROADMAP).
+//!
+//! The compiled tables are probed from the dynamic transition under the
+//! `FactoredProtocol` contract; these tests check the contract *holds*:
+//!
+//! * **exhaustively** over the full enumerated state space at small
+//!   `Params` (every `(responder, initiator)` pair, every ablation
+//!   variant);
+//! * by **seeded sampling** at paper-scale `Params` (n = 2^20);
+//! * at the **engine level**: because the packed id order is monotone in
+//!   the codec order, a compiled engine consumes its RNG exactly like the
+//!   dynamic one — trajectories must be *bit-identical* under decoding,
+//!   on `AgentSim`, sequential `UrnSim` and the batched path alike;
+//! * across the **table-budget fallback** (partially compiled tables mix
+//!   lookups with dynamic calls and must agree with both).
+//!
+//! The CI stress job runs this suite in release mode.
+
+use population_protocols::core::{Census, Gsu19, Params};
+use population_protocols::ppsim::{
+    ks_critical, ks_statistic, run_trials_threads, run_until_stable, run_until_stable_with,
+    AgentSim, BatchPolicy, CompiledProtocol, EnumerableProtocol, Protocol, Simulator, UrnSim,
+};
+
+/// Hand-built small parameters: every role component present, state space
+/// small enough (≈ 2.8k states) for the full |S|² sweep in debug builds.
+fn tiny_params() -> Params {
+    Params {
+        n: 16,
+        gamma: 8,
+        phi: 1,
+        psi: 2,
+        enable_drag: true,
+        enable_backup: true,
+        skip_fast_elim: false,
+        direct_withdrawal: false,
+    }
+}
+
+/// Exhaustive |S|² comparison of one protocol instance.
+fn assert_exhaustive_equivalence(proto: Gsu19) {
+    let c = CompiledProtocol::new(proto);
+    assert!(c.is_fully_compiled());
+    let s = proto.num_states();
+    let states: Vec<_> = (0..s).map(|id| proto.state_from_id(id)).collect();
+    let packed: Vec<u32> = states.iter().map(|&st| c.encode_state(st)).collect();
+    for r in 0..s {
+        for i in 0..s {
+            let (dr, di) = proto.transition(states[r], states[i]);
+            let (cr, ci) = c.transition(packed[r], packed[i]);
+            assert_eq!(
+                c.decode_state(cr),
+                dr,
+                "responder mismatch at ({:?}, {:?})",
+                states[r],
+                states[i]
+            );
+            assert_eq!(
+                c.decode_state(ci),
+                di,
+                "initiator mismatch at ({:?}, {:?})",
+                states[r],
+                states[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_equivalence_tiny_params() {
+    assert_exhaustive_equivalence(Gsu19::new(tiny_params()));
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "two more |S|² sweeps; run by the release-mode CI stress job"
+)]
+fn exhaustive_equivalence_tiny_params_ablations() {
+    // The GS18-style variant (skip cascade, no drag, direct withdrawal)
+    // and the no-backup variant exercise every disabled-rule branch.
+    let mut gs18ish = tiny_params();
+    gs18ish.skip_fast_elim = true;
+    gs18ish.enable_drag = false;
+    gs18ish.direct_withdrawal = true;
+    assert_exhaustive_equivalence(Gsu19::new(gs18ish));
+
+    let mut no_backup = tiny_params();
+    no_backup.enable_backup = false;
+    assert_exhaustive_equivalence(Gsu19::new(no_backup));
+}
+
+#[test]
+fn sampled_equivalence_paper_scale() {
+    // Full enumeration at n = 2^20 would be |S|² ≈ 6·10^8 pairs; a seeded
+    // 50k-pair sample catches any contract violation that survives the
+    // exhaustive tiny-params sweep yet appears at paper-scale parameters
+    // (larger Φ/Ψ/Γ, deeper counter ranges).
+    let proto = Gsu19::for_population(1 << 20);
+    let c = CompiledProtocol::new(proto);
+    assert!(c.is_fully_compiled(), "default budget must cover 2^20");
+    let s = proto.num_states();
+    let mut x = 0x243F_6A88_85A3_08D3u64; // fixed seed: deterministic in CI
+    let mut draw = move || {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (x >> 16) as usize
+    };
+    for _ in 0..50_000 {
+        let (r, i) = (draw() % s, draw() % s);
+        let (rs, is) = (proto.state_from_id(r), proto.state_from_id(i));
+        let (dr, di) = proto.transition(rs, is);
+        let (cr, ci) = c.transition(c.encode_state(rs), c.encode_state(is));
+        assert_eq!(c.decode_state(cr), dr, "responder at ({rs:?}, {is:?})");
+        assert_eq!(c.decode_state(ci), di, "initiator at ({rs:?}, {is:?})");
+    }
+}
+
+#[test]
+fn budget_fallback_equivalence() {
+    // A partially compiled protocol (a third of the role pairs in
+    // tables, the rest dynamic) must agree with the fully compiled one
+    // everywhere — correctness may not depend on the budget.
+    let proto = Gsu19::new(tiny_params());
+    let full = CompiledProtocol::new(proto);
+    let budget = full.bucket_count() * full.bucket_count() * 4 / 3;
+    let partial = CompiledProtocol::with_budget(proto, budget);
+    assert!(partial.compiled_pairs() > 0);
+    assert!(!partial.is_fully_compiled());
+    let s = proto.num_states();
+    for r in (0..s).step_by(3) {
+        for i in (0..s).step_by(5) {
+            let rp = full.encode_state(proto.state_from_id(r));
+            let ip = full.encode_state(proto.state_from_id(i));
+            assert_eq!(partial.transition(rp, ip), full.transition(rp, ip));
+        }
+    }
+}
+
+#[test]
+fn compiled_agent_trajectory_is_bit_identical() {
+    // Same seed, same RNG consumption, equivalent transitions ⇒ the
+    // compiled agent simulation must shadow the dynamic one exactly.
+    let n = 1u64 << 10;
+    let proto = Gsu19::for_population(n);
+    let c = CompiledProtocol::new(proto);
+    let mut dynamic = AgentSim::new(proto, n as usize, 99);
+    let mut compiled = AgentSim::new(c.clone(), n as usize, 99);
+    for round in 0..10 {
+        dynamic.steps(10 * n);
+        compiled.steps(10 * n);
+        assert_eq!(
+            dynamic.output_counts(),
+            compiled.output_counts(),
+            "output counts diverged in round {round}"
+        );
+        for (agent, (&ds, &cs)) in dynamic.states().iter().zip(compiled.states()).enumerate() {
+            assert_eq!(
+                ds,
+                c.decode_state(cs),
+                "agent {agent} diverged in round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_urn_trajectory_is_bit_identical() {
+    // The packed id order is monotone in the codec id order and padding
+    // ids hold zero mass, so the Fenwick walks select corresponding
+    // states for the same uniform draws: sequential urns must match bit
+    // for bit under decoding.
+    let n = 1u64 << 12;
+    let proto = Gsu19::for_population(n);
+    let c = CompiledProtocol::new(proto);
+    let mut dynamic = UrnSim::new(proto, n, 4242);
+    let mut compiled = UrnSim::new(c.clone(), n, 4242);
+    for _ in 0..5 {
+        dynamic.steps(10 * n);
+        compiled.steps(10 * n);
+        assert_eq!(dynamic.output_counts(), compiled.output_counts());
+        let decoded: Vec<_> = compiled
+            .nonzero_counts()
+            .into_iter()
+            .map(|(id, k)| (c.decode_state(id), k))
+            .collect();
+        assert_eq!(dynamic.nonzero_counts(), decoded);
+    }
+}
+
+#[test]
+fn compiled_batched_trajectory_is_bit_identical() {
+    let n = 1u64 << 12;
+    let policy = BatchPolicy::Adaptive {
+        shift: BatchPolicy::DEFAULT_SHIFT,
+        min_population: 256,
+    };
+    let proto = Gsu19::for_population(n);
+    let c = CompiledProtocol::new(proto);
+    let mut dynamic = UrnSim::new(proto, n, 777);
+    let mut compiled = UrnSim::new(c.clone(), n, 777);
+    for _ in 0..5 {
+        dynamic.steps_batched(10 * n, &policy);
+        compiled.steps_batched(10 * n, &policy);
+        assert_eq!(dynamic.output_counts(), compiled.output_counts());
+        let decoded: Vec<_> = compiled
+            .nonzero_counts()
+            .into_iter()
+            .map(|(id, k)| (c.decode_state(id), k))
+            .collect();
+        assert_eq!(dynamic.nonzero_counts(), decoded);
+    }
+}
+
+#[test]
+fn compiled_election_census_and_stability() {
+    // End to end on the compiled path: elect, decode a census, stay
+    // stable.
+    let n = 1u64 << 10;
+    let proto = Gsu19::for_population(n);
+    let params = *proto.params();
+    let c = CompiledProtocol::new(proto);
+    let mut sim = UrnSim::new(c.clone(), n, 5);
+    let res = run_until_stable(&mut sim, 100_000 * n);
+    assert!(res.converged);
+    let census = Census::of_with(&sim, &params, |s| c.decode_state(s));
+    assert_eq!(census.total(), n);
+    assert_eq!(census.alive(), 1);
+    assert_eq!(census.uninitialised(), 0);
+    sim.steps(10 * n);
+    assert_eq!(sim.leaders(), 1, "election unstable after convergence");
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "28 elections; run by the release-mode CI stress job"
+)]
+fn compiled_batched_urn_vs_dynamic_agent_ks() {
+    // Cross-engine distributional gate in the style of
+    // `tests/engine_equivalence.rs`: compiled batched urn vs dynamic
+    // agent array on stabilisation times, fixed seeds, α = 0.001.
+    let n = 1u64 << 9;
+    let trials = 14;
+    let budget = 100_000 * n;
+    let policy = BatchPolicy::Adaptive {
+        shift: BatchPolicy::DEFAULT_SHIFT,
+        min_population: 256,
+    };
+    let agent_times = run_trials_threads(trials, 8100, 2, |_, seed| {
+        let mut sim = AgentSim::new(Gsu19::for_population(n), n as usize, seed);
+        let res = run_until_stable(&mut sim, budget);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    let compiled_times = run_trials_threads(trials, 8200, 2, |_, seed| {
+        let proto = CompiledProtocol::new(Gsu19::for_population(n));
+        let mut sim = UrnSim::new(proto, n, seed);
+        let res = run_until_stable_with(&mut sim, &policy, budget);
+        assert!(res.converged);
+        res.parallel_time
+    });
+    let crit = ks_critical(trials, trials, 0.001);
+    let d = ks_statistic(&compiled_times, &agent_times);
+    assert!(
+        d < crit,
+        "compiled batched urn vs dynamic agent: D={d:.3} ≥ {crit:.3}"
+    );
+}

@@ -3,10 +3,12 @@
 //! `bench_function` with a [`Bencher`], and the `criterion_group!` /
 //! `criterion_main!` macros (`harness = false` targets).
 //!
-//! Measurement is a simple calibrated loop — per-sample median of
-//! wall-clock time with a warm-up pass — reported as ns/iter and, when a
-//! [`Throughput`] is set, elements or bytes per second. No statistics
-//! beyond the median, no HTML reports, no baselines.
+//! Measurement is a simple calibrated loop — wall-clock samples with a
+//! warm-up pass — reported as min/median/max ns/iter and, when a
+//! [`Throughput`] is set, elements or bytes per second (computed from the
+//! median). No further statistics (no confidence intervals), no HTML
+//! reports, no baselines; quote speedup ratios from the medians and use
+//! min/max as the spread.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -63,13 +65,13 @@ impl From<String> for BenchmarkId {
 
 /// Timing loop handle passed to `bench_function` closures.
 pub struct Bencher {
-    /// Median per-iteration time of the measured samples.
-    elapsed_per_iter: Duration,
+    /// Sorted per-iteration times of the measured samples.
+    samples: Vec<Duration>,
     sample_size: usize,
 }
 
 impl Bencher {
-    /// Time `f`, storing the per-iteration median over the sample count.
+    /// Time `f`, storing the sorted per-iteration samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up.
         black_box(f());
@@ -80,7 +82,19 @@ impl Bencher {
             samples.push(start.elapsed());
         }
         samples.sort_unstable();
-        self.elapsed_per_iter = samples[samples.len() / 2];
+        self.samples = samples;
+    }
+
+    /// (min, median, max) of the measured samples.
+    fn spread(&self) -> (Duration, Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        }
+        (
+            self.samples[0],
+            self.samples[self.samples.len() / 2],
+            *self.samples.last().expect("non-empty"),
+        )
     }
 }
 
@@ -168,11 +182,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     mut f: F,
 ) {
     let mut bencher = Bencher {
-        elapsed_per_iter: Duration::ZERO,
+        samples: Vec::new(),
         sample_size,
     };
     f(&mut bencher);
-    let nanos = bencher.elapsed_per_iter.as_nanos().max(1);
+    let (min, median, max) = bencher.spread();
+    let nanos = median.as_nanos().max(1);
     let rate = match throughput {
         Some(Throughput::Elements(k)) => {
             format!("  ({:.1} Melem/s)", k as f64 / nanos as f64 * 1e3)
@@ -185,7 +200,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
         }
         None => String::new(),
     };
-    println!("{label}: {nanos} ns/iter{rate}");
+    println!(
+        "{label}: {nanos} ns/iter [min {} / max {}]{rate}",
+        min.as_nanos().max(1),
+        max.as_nanos().max(1)
+    );
 }
 
 /// Group benchmark functions under one entry point, optionally with a

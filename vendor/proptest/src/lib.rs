@@ -8,7 +8,13 @@
 //!
 //! * **No shrinking.** A failing case panics with the values interpolated
 //!   into the assertion message instead of a minimised counterexample.
-//! * **Deterministic generation.** Each test's RNG is seeded from the
+//! * **Replayable cases instead.** Every generated case has its own
+//!   64-bit seed, drawn from a per-test master stream; a failure prints
+//!   that seed plus a one-line replay command
+//!   (`PROPTEST_REPLAY_SEED=<seed> cargo test <name>`) which re-runs
+//!   exactly the failing case — the debugging affordance shrinking would
+//!   otherwise provide.
+//! * **Deterministic generation.** The master stream is seeded from the
 //!   test's module path, so failures reproduce exactly across runs; set
 //!   `PROPTEST_RNG_SEED` to explore a different stream.
 //! * **Case count** comes from the config (default 64, matching this
@@ -244,8 +250,11 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $config;
-            let cases = config.resolved_cases();
-            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+            // `PROPTEST_REPLAY_SEED` re-runs exactly one case — the one a
+            // previous failure printed.
+            let replay = $crate::test_runner::replay_seed();
+            let cases = if replay.is_some() { 1 } else { config.resolved_cases() };
+            let mut master = $crate::test_runner::TestRng::for_test(concat!(
                 module_path!(),
                 "::",
                 stringify!($name)
@@ -261,6 +270,10 @@ macro_rules! __proptest_tests {
                     attempts,
                     cases
                 );
+                // Every case gets its own seed so a failure is replayable
+                // in isolation.
+                let case_seed = replay.unwrap_or_else(|| master.next_u64());
+                let mut rng = $crate::test_runner::TestRng::from_seed_u64(case_seed);
                 let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                     (|| {
                         $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
@@ -271,7 +284,22 @@ macro_rules! __proptest_tests {
                     ::std::result::Result::Ok(()) => executed += 1,
                     ::std::result::Result::Err(e) if e.is_reject() => continue,
                     ::std::result::Result::Err(e) => {
-                        panic!("property failed after {} passing cases: {}", executed, e)
+                        // Replay filter: the test's in-binary path (module
+                        // path minus the crate segment) with `--exact`, so
+                        // the seed applies to exactly this test and not to
+                        // every property whose name shares a substring.
+                        let module = module_path!();
+                        let filter = match module.split_once("::") {
+                            ::std::option::Option::Some((_, rest)) => {
+                                format!("{}::{}", rest, stringify!($name))
+                            }
+                            ::std::option::Option::None => stringify!($name).to_string(),
+                        };
+                        panic!(
+                            "property failed after {} passing cases (case seed {}): {}\n\
+                             replay with: PROPTEST_REPLAY_SEED={} cargo test {} -- --exact",
+                            executed, case_seed, e, case_seed, filter
+                        )
                     }
                 }
             }

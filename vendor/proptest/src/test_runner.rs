@@ -88,7 +88,30 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Seed of a single-case replay run: the `PROPTEST_REPLAY_SEED`
+/// environment variable, as printed by a property failure. When set, the
+/// `proptest!` macro runs exactly one case, generated from this seed.
+pub fn replay_seed() -> Option<u64> {
+    std::env::var("PROPTEST_REPLAY_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
 impl TestRng {
+    /// RNG fully determined by an explicit 64-bit seed (SplitMix64
+    /// expansion, like `seed_from_u64`). Used for per-case generation so
+    /// a failing case is replayable from its printed seed alone.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        TestRng { s }
+    }
+
     /// RNG whose stream is determined by the test's name (and optionally
     /// the `PROPTEST_RNG_SEED` environment variable).
     pub fn for_test(name: &str) -> Self {

@@ -1,0 +1,65 @@
+//! The shim's substitute for shrinking: failures must print a case seed
+//! and a one-line replay command, and replaying that seed must reproduce
+//! exactly the failing case.
+
+use proptest::prelude::*;
+
+proptest! {
+    // Not `#[test]`: driven manually below, under `catch_unwind`.
+    fn deterministic_failure(x in 0u64..1_000_000) {
+        // Fails on roughly half the cases, so the first failure arrives
+        // within a few cases whatever the master stream.
+        prop_assert!(x % 2 == 0, "odd value {}", x);
+    }
+}
+
+fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+    let result = std::panic::catch_unwind(f);
+    std::panic::set_hook(prev);
+    let err = result.expect_err("property unexpectedly passed");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string")
+}
+
+#[test]
+fn failure_prints_seed_and_replay_command() {
+    let msg = panic_message(deterministic_failure);
+    assert!(
+        msg.contains("replay with: PROPTEST_REPLAY_SEED="),
+        "no replay line in: {msg}"
+    );
+    let seed: u64 = msg
+        .split("PROPTEST_REPLAY_SEED=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable seed in: {msg}"));
+
+    // Replaying the printed seed must reproduce the identical case (the
+    // failing value is interpolated into the message by `prop_assert!`).
+    let value = msg
+        .split("odd value ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .unwrap_or_else(|| panic!("no failing value in: {msg}"));
+    std::env::set_var("PROPTEST_REPLAY_SEED", seed.to_string());
+    let replay_msg = panic_message(deterministic_failure);
+    std::env::remove_var("PROPTEST_REPLAY_SEED");
+    assert!(
+        replay_msg.contains("after 0 passing cases"),
+        "replay did not run the failing case first: {replay_msg}"
+    );
+    assert!(
+        replay_msg.contains(&format!("odd value {value}")),
+        "replay produced a different case: {replay_msg} (wanted value {value})"
+    );
+    assert!(
+        replay_msg.contains(&format!("case seed {seed}")),
+        "replay reported a different seed: {replay_msg}"
+    );
+}
