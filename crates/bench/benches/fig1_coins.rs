@@ -8,30 +8,39 @@
 //! idealised `f_{ℓ+1} = f_ℓ²/2` prediction, and the Lemma 5.1/5.2 envelope
 //! `[9/20·q², 11/10·q²]·n` applied level by level to the *measured* sizes.
 //! The junta line checks Lemma 5.3: `n^0.45 ≤ C_Φ ≤ n^0.77`.
+//!
+//! The measurement itself is a `ppexp` experiment: a fixed-horizon census
+//! study of GSU19, one spec per population, with the per-level means read
+//! from the artifact's `coins_ge{l}` aggregates.
 
 use bench::{lg, scale};
-use core_protocol::{Census, Gsu19};
+use core_protocol::Gsu19;
+use ppexp::{run_experiment, ExperimentSpec, ObservableSet, ProtocolKind, StopCondition};
 use ppsim::table::{fnum, Table};
-use ppsim::{run_trials, AgentSim, Simulator};
 
 fn main() {
     let sc = scale();
     println!("=== F1: coin sub-populations and biased coins (Figure 1) ({sc:?} scale) ===\n");
 
     for &n in &sc.n_grid() {
-        let proto = Gsu19::for_population(n);
-        let params = *proto.params();
+        let params = *Gsu19::for_population(n).params();
         let trials = sc.trials(n).min(16);
 
         // Mean C_ℓ over trials, measured once preprocessing has settled
         // (well past the first round: 12·round-length ≈ 60·log₂ n).
-        let per_trial: Vec<Vec<u64>> = run_trials(trials, 11, |_, seed| {
-            let proto = Gsu19::for_population(n);
-            let mut sim = AgentSim::new(proto, n as usize, seed);
-            sim.steps((60.0 * lg(n)) as u64 * n);
-            let c = Census::of(&sim, &params);
-            (0..=params.phi).map(|l| c.coins_at_least(l)).collect()
-        });
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Gsu19],
+            ns: vec![n],
+            trials,
+            seed: 11,
+            observables: ObservableSet::Census,
+            stop: StopCondition::Horizon {
+                at_pt: 60.0 * lg(n),
+            },
+            ..ExperimentSpec::default()
+        };
+        let artifact = run_experiment(&spec).expect("figure 1 spec is valid");
+        let config = &artifact.configs[0];
 
         let mut t = Table::new([
             "level",
@@ -44,8 +53,10 @@ fn main() {
         ]);
         let mut prev_mean: Option<f64> = None;
         for l in 0..=params.phi {
-            let vals: Vec<f64> = per_trial.iter().map(|v| v[l as usize] as f64).collect();
-            let mean = ppsim::mean(&vals);
+            let mean = config
+                .aggregate(&format!("coins_ge{l}"))
+                .expect("census metrics present")
+                .mean;
             let frac = mean / n as f64;
             let ideal = params.coin_bias(l);
             // Envelope from the measured previous level (Lemmas 5.1/5.2).

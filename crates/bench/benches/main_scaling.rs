@@ -9,15 +9,39 @@
 //! asymptotic gap is Θ(log n) vs Θ(log log n) *rounds*, and
 //! `log₄ n ≈ 2Φ+3+O(log log n)` until n ≈ 2²⁴); the discriminating signal
 //! is the growth *trend* of the normalised columns.
+//!
+//! Each grid point is a `ppexp` stabilisation study (one spec per
+//! population, since the trial count shrinks with n); means and CIs come
+//! from the artifact aggregates.
 
-use baselines::{Bkko18, Gs18};
-use bench::{lg, lg2, lg_lglg, measure_convergence, scale};
-use core_protocol::Gsu19;
-use ppsim::stats::{linear_fit, Summary};
+use bench::{lg, lg2, lg_lglg, scale};
+use ppexp::{run_experiment, ExperimentSpec, ProtocolKind, StopCondition};
+use ppsim::stats::linear_fit;
 use ppsim::table::{fnum, Table};
 
 /// Per-protocol measurement rows: (n, mean time, ci95 half-width).
 type ProtocolRows = (&'static str, Vec<(u64, f64, f64)>);
+
+/// One stabilisation study at a single grid point, through the experiment
+/// engine.
+fn measure(protocol: ProtocolKind, n: u64, trials: usize, seed: u64) -> (f64, f64, usize) {
+    let spec = ExperimentSpec {
+        protocols: vec![protocol],
+        ns: vec![n],
+        trials,
+        seed,
+        stop: StopCondition::Stabilize {
+            budget_pt: 60_000.0,
+        },
+        ..ExperimentSpec::default()
+    };
+    let artifact = run_experiment(&spec).expect("scaling spec is valid");
+    let config = &artifact.configs[0];
+    match config.aggregate("time") {
+        Some(agg) => (agg.mean, agg.ci95, config.failures),
+        None => (f64::NAN, f64::NAN, config.failures),
+    }
+}
 
 fn main() {
     let sc = scale();
@@ -26,19 +50,18 @@ fn main() {
     let grid = sc.n_grid();
     let mut results: Vec<ProtocolRows> = Vec::new();
 
-    for (name, idx) in [("gsu19", 0u64), ("gs18", 1), ("bkko18", 2)] {
+    for (protocol, seed) in [
+        (ProtocolKind::Gsu19, 71u64),
+        (ProtocolKind::Gs18, 72),
+        (ProtocolKind::Bkko18, 73),
+    ] {
+        let name = protocol.name();
         let mut rows = Vec::new();
         for &n in &grid {
-            let trials = sc.trials(n);
-            let stats = match idx {
-                0 => measure_convergence(Gsu19::for_population, n, trials, 60_000.0, 71),
-                1 => measure_convergence(Gs18::for_population, n, trials, 60_000.0, 72),
-                _ => measure_convergence(Bkko18::for_population, n, trials, 60_000.0, 73),
-            };
-            let s = Summary::of(&stats.times);
-            rows.push((n, s.mean, s.ci95));
-            if stats.failures > 0 {
-                println!("note: {name} n={n}: {} budget failures", stats.failures);
+            let (mean, ci, failures) = measure(protocol, n, sc.trials(n), seed);
+            rows.push((n, mean, ci));
+            if failures > 0 {
+                println!("note: {name} n={n}: {failures} budget failures");
             }
         }
         results.push((name, rows));

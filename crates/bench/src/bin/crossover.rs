@@ -3,9 +3,14 @@
 //! closes as n grows (extrapolated crossover ≈ 2^24).
 //!
 //! ```text
-//! crossover [n] [trials] [engine] [--compiled]
+//! crossover [n] [trials] [engine] [--compiled] [--threads K]
 //!     engine: agent (default) | urn-batched
 //! ```
+//!
+//! The probe is a preset over the `ppexp` experiment engine: it expands to
+//! an [`ExperimentSpec`] with both protocols at one population and prints
+//! the engine's aggregates, so its trial scheduling, seed provenance and
+//! statistics are exactly those of `ppctl run`.
 //!
 //! The `urn-batched` engine (see `ppsim::batch`) runs the same probe on the
 //! count-based simulator with batched multinomial sampling, which is the
@@ -17,61 +22,32 @@
 //! (`ppsim::compiled`) for both protocols — the fast path for the agent
 //! engine (compile once per protocol, clone per trial).
 
-use baselines::Gs18;
-use core_protocol::Gsu19;
-use ppsim::{
-    run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, CompiledProtocol,
-    EnumerableProtocol, FactoredProtocol, UrnSim,
-};
-
-/// One election on the chosen engine; generic over the (possibly
-/// compiled) protocol.
-fn election<P: EnumerableProtocol>(proto: P, n: u64, seed: u64, batched: bool) -> f64 {
-    let budget = 30_000 * n;
-    let res = if batched {
-        let mut sim = UrnSim::new(proto, n, seed);
-        run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget)
-    } else {
-        let mut sim = AgentSim::new(proto, n as usize, seed);
-        run_until_stable(&mut sim, budget)
-    };
-    assert!(res.converged);
-    res.parallel_time
-}
-
-fn probe<P>(proto: P, n: u64, trials: usize, batched: bool, compiled: bool) -> Vec<f64>
-where
-    P: FactoredProtocol + Clone + Sync,
-{
-    if compiled {
-        // Compile once; trials share the tables through cheap clones.
-        let c = CompiledProtocol::new(proto);
-        run_trials(trials, 300, move |_, seed| {
-            election(c.clone(), n, seed, batched)
-        })
-    } else {
-        run_trials(trials, 300, move |_, seed| {
-            election(proto.clone(), n, seed, batched)
-        })
-    }
-}
+use ppexp::{run_experiment, EngineKind, ExperimentSpec, ProtocolKind, StopCondition};
 
 fn main() {
-    // Positional [n] [trials] [engine] in order, `--compiled` anywhere;
-    // anything else is a usage error (a silently-dropped argument here
-    // can cost hours of probing the wrong configuration).
+    // Positional [n] [trials] [engine] in order, `--compiled` and
+    // `--threads K` anywhere; anything else is a usage error (a
+    // silently-dropped argument here can cost hours of probing the wrong
+    // configuration).
     let mut positional: Vec<String> = Vec::new();
     let mut compiled = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--compiled" {
             compiled = true;
+        } else if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a positive integer");
         } else {
             positional.push(arg);
         }
     }
     assert!(
         positional.len() <= 3,
-        "usage: crossover [n] [trials] [engine] [--compiled]"
+        "usage: crossover [n] [trials] [engine] [--compiled] [--threads K]"
     );
     let n: u64 = positional
         .first()
@@ -86,17 +62,30 @@ fn main() {
         engine == "agent" || engine == "urn-batched",
         "engine must be agent | urn-batched"
     );
-    let batched = engine == "urn-batched";
-    for proto in ["gsu19", "gs18"] {
-        let times = match proto {
-            "gsu19" => probe(Gsu19::for_population(n), n, trials, batched, compiled),
-            _ => probe(Gs18::for_population(n), n, trials, batched, compiled),
-        };
-        let s = ppsim::Summary::of(&times);
+
+    let spec = ExperimentSpec {
+        protocols: vec![ProtocolKind::Gsu19, ProtocolKind::Gs18],
+        engine: EngineKind::parse(&engine).expect("validated above"),
+        compiled,
+        ns: vec![n],
+        trials,
+        seed: 300,
+        threads,
+        stop: StopCondition::Stabilize {
+            budget_pt: 30_000.0,
+        },
+        ..ExperimentSpec::default()
+    };
+    let artifact = run_experiment(&spec).expect("crossover spec is valid");
+
+    for config in &artifact.configs {
+        assert_eq!(config.failures, 0, "{}: trials missed the budget", config.n);
+        let s = config.aggregate("time").expect("converged trials exist");
         let l = (n as f64).log2();
         let tag = if compiled { ", compiled" } else { "" };
         println!(
-            "{proto} [{engine}{tag}] n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
+            "{} [{engine}{tag}] n=2^{:.0}: mean={:.1} ci95={:.1} med={:.1}  t/lg2={:.3} t/(lg*lglg)={:.3}",
+            config.protocol.name(),
             l,
             s.mean,
             s.ci95,

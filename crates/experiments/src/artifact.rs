@@ -1,0 +1,433 @@
+//! Versioned experiment artifacts: the machine-readable output of
+//! [`crate::run_experiment`].
+//!
+//! An artifact embeds its spec (canonical form), full per-trial records
+//! with seed provenance, per-metric aggregates and — for stabilisation
+//! studies — a survival curve. Serialisation is deterministic: the same
+//! spec and seed produce byte-identical JSON regardless of thread count,
+//! which is what the golden-artifact CI gate diffs against.
+//!
+//! Schema (`ppexp/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "ppexp/v1",
+//!   "spec": { ... },                      // canonical ExperimentSpec
+//!   "configs": [{
+//!     "protocol": "gsu19", "n": 512,
+//!     "config_seed": 123,                 // split_seed(spec.seed, index)
+//!     "failures": 0,                      // trials that missed the budget
+//!     "trials": [{
+//!       "trial": 0, "seed": 456,          // split_seed(config_seed, 0)
+//!       "converged": true,
+//!       "metrics": {"time": 41.5, ...},
+//!       "traces": {"leaders": {"t": [..], "v": [..]}}   // iff sample_at
+//!     }],
+//!     "aggregates": {"time": {"count": 8, "mean": ..., "std": ...,
+//!                             "ci95": ..., "min": ..., "max": ...,
+//!                             "q25": ..., "median": ..., "q75": ...}},
+//!     "survival": {"t": [..], "v": [..]}  // iff stop = stabilize
+//!   }]
+//! }
+//! ```
+
+use ppsim::trace::Series;
+
+use crate::aggregate::{survival_curve, OnlineStats, P2Quantile};
+use crate::json::Json;
+use crate::registry::{ProtocolKind, TrialOutcome};
+use crate::spec::{ExperimentSpec, StopCondition};
+
+/// Current artifact schema tag.
+pub const SCHEMA: &str = "ppexp/v1";
+
+/// One trial with full provenance: `(spec.seed, config, trial)` is enough
+/// to reproduce it bit-identically (see [`crate::replay_trial`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialRecord {
+    /// Trial index within its config.
+    pub trial: usize,
+    /// The derived per-trial seed actually fed to the simulator.
+    pub seed: u64,
+    /// The trial's outcome.
+    pub outcome: TrialOutcome,
+}
+
+impl TrialRecord {
+    /// The trial's JSON form — the exact shape embedded in an artifact's
+    /// `trials` array, so a replayed record can be diffed against the
+    /// recorded one textually.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("trial".into(), Json::Uint(self.trial as u64)),
+            ("seed".into(), Json::Uint(self.seed)),
+            ("converged".into(), Json::Bool(self.outcome.converged)),
+            (
+                "metrics".into(),
+                Json::Obj(
+                    self.outcome
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if !self.outcome.traces.is_empty() {
+            fields.push((
+                "traces".into(),
+                Json::Obj(
+                    self.outcome
+                        .traces
+                        .iter()
+                        .map(|s| (s.name.clone(), series_json(s)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Aggregate of one metric over the converged trials of a config.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricAggregate {
+    pub count: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub ci95: f64,
+    pub min: f64,
+    pub max: f64,
+    pub q25: f64,
+    pub median: f64,
+    pub q75: f64,
+}
+
+/// Results of one (protocol, n) grid point.
+#[derive(Clone, Debug)]
+pub struct ConfigResult {
+    pub protocol: ProtocolKind,
+    pub n: u64,
+    /// Per-config master seed (`split_seed(spec.seed, config_index)`).
+    pub config_seed: u64,
+    /// Trials that did not meet the stopping predicate within budget.
+    pub failures: usize,
+    /// All trials, ordered by trial index.
+    pub trials: Vec<TrialRecord>,
+    /// Per-metric aggregates over converged trials, in metric order.
+    pub aggregates: Vec<(String, MetricAggregate)>,
+    /// Survival curve of stabilisation time (stabilize studies only).
+    pub survival: Option<Series>,
+}
+
+impl ConfigResult {
+    /// Assemble a config result by streaming `trials` (already in trial
+    /// order) through the online aggregators.
+    pub(crate) fn collect(
+        protocol: ProtocolKind,
+        n: u64,
+        config_seed: u64,
+        trials: Vec<TrialRecord>,
+        stop: StopCondition,
+    ) -> Self {
+        let mut stats: Vec<(String, OnlineStats, [P2Quantile; 3])> = Vec::new();
+        let mut failures = 0usize;
+        let mut times = Vec::new();
+        for record in &trials {
+            if !record.outcome.converged {
+                failures += 1;
+                continue;
+            }
+            if let Some(t) = record.outcome.metric("time") {
+                times.push(t);
+            }
+            for (name, value) in &record.outcome.metrics {
+                let slot = match stats.iter_mut().find(|(k, _, _)| k == name) {
+                    Some(slot) => slot,
+                    None => {
+                        stats.push((
+                            name.clone(),
+                            OnlineStats::new(),
+                            [
+                                P2Quantile::new(0.25),
+                                P2Quantile::new(0.5),
+                                P2Quantile::new(0.75),
+                            ],
+                        ));
+                        stats.last_mut().expect("just pushed")
+                    }
+                };
+                slot.1.push(*value);
+                for q in &mut slot.2 {
+                    q.push(*value);
+                }
+            }
+        }
+        let aggregates = stats
+            .into_iter()
+            .map(|(name, acc, [q25, median, q75])| {
+                (
+                    name,
+                    MetricAggregate {
+                        count: acc.count(),
+                        mean: acc.mean(),
+                        std: acc.std_dev(),
+                        ci95: acc.ci95(),
+                        min: acc.min(),
+                        max: acc.max(),
+                        q25: q25.value(),
+                        median: median.value(),
+                        q75: q75.value(),
+                    },
+                )
+            })
+            .collect();
+        let survival = match stop {
+            StopCondition::Stabilize { .. } if !trials.is_empty() => {
+                Some(survival_curve(&times, trials.len()))
+            }
+            _ => None,
+        };
+        Self {
+            protocol,
+            n,
+            config_seed,
+            failures,
+            trials,
+            aggregates,
+            survival,
+        }
+    }
+
+    /// Aggregate of a metric by name.
+    pub fn aggregate(&self, name: &str) -> Option<&MetricAggregate> {
+        self.aggregates
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, a)| a)
+    }
+}
+
+/// A complete experiment result: spec plus every config's records.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    pub spec: ExperimentSpec,
+    pub configs: Vec<ConfigResult>,
+}
+
+impl Artifact {
+    /// Config lookup by grid point.
+    pub fn config(&self, protocol: ProtocolKind, n: u64) -> Option<&ConfigResult> {
+        self.configs
+            .iter()
+            .find(|c| c.protocol == protocol && c.n == n)
+    }
+
+    /// The artifact as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("spec".into(), self.spec.to_json()),
+            (
+                "configs".into(),
+                Json::Arr(self.configs.iter().map(config_json).collect()),
+            ),
+        ])
+    }
+
+    /// Canonical serialised form (pretty, trailing newline) — the bytes
+    /// the determinism tests and the golden CI gate compare.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Long-format CSV: one row per (config, trial, metric).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("config,protocol,n,trial,seed,converged,metric,value\n");
+        for (ci, config) in self.configs.iter().enumerate() {
+            for record in &config.trials {
+                for (name, value) in &record.outcome.metrics {
+                    out.push_str(&format!(
+                        "{ci},{},{},{},{},{},{name},{value:?}\n",
+                        config.protocol.name(),
+                        config.n,
+                        record.trial,
+                        record.seed,
+                        record.outcome.converged,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural schema validation of a parsed artifact document.
+    ///
+    /// Checks the `ppexp/v1` shape documented in the module header —
+    /// field presence, types, registered protocol names, and that trial
+    /// counts and failure counts are internally consistent.
+    pub fn validate_json(doc: &Json) -> Result<(), String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("schema '{schema}' is not '{SCHEMA}'"));
+        }
+        let spec = doc.get("spec").ok_or("missing spec")?;
+        for key in [
+            "protocols",
+            "engine",
+            "compiled",
+            "n",
+            "trials",
+            "seed",
+            "batch_shift",
+            "stop",
+            "observables",
+            "sample_at",
+        ] {
+            if spec.get(key).is_none() {
+                return Err(format!("spec missing '{key}'"));
+            }
+        }
+        let declared_trials = spec
+            .get("trials")
+            .and_then(Json::as_u64)
+            .ok_or("spec.trials is not an integer")? as usize;
+        spec.get("stop")
+            .and_then(|s| s.get("kind"))
+            .and_then(Json::as_str)
+            .filter(|k| matches!(*k, "stabilize" | "horizon"))
+            .ok_or("spec.stop.kind is not stabilize|horizon")?;
+
+        let configs = doc
+            .get("configs")
+            .and_then(Json::as_arr)
+            .ok_or("missing configs array")?;
+        for (ci, config) in configs.iter().enumerate() {
+            let ctx = format!("configs[{ci}]");
+            let name = config
+                .get("protocol")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{ctx}: missing protocol"))?;
+            if ProtocolKind::parse(name).is_none() {
+                return Err(format!("{ctx}: unregistered protocol '{name}'"));
+            }
+            for key in ["n", "config_seed", "failures"] {
+                config
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{ctx}: missing integer '{key}'"))?;
+            }
+            let trials = config
+                .get("trials")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{ctx}: missing trials array"))?;
+            if trials.len() != declared_trials {
+                return Err(format!(
+                    "{ctx}: {} trial records for spec.trials = {declared_trials}",
+                    trials.len()
+                ));
+            }
+            let mut unconverged = 0u64;
+            for (ti, trial) in trials.iter().enumerate() {
+                let ctx = format!("{ctx}.trials[{ti}]");
+                for key in ["trial", "seed"] {
+                    trial
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("{ctx}: missing integer '{key}'"))?;
+                }
+                let converged = trial
+                    .get("converged")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| format!("{ctx}: missing converged"))?;
+                if !converged {
+                    unconverged += 1;
+                }
+                let metrics = trial
+                    .get("metrics")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| format!("{ctx}: missing metrics object"))?;
+                for (key, value) in metrics {
+                    if value.as_f64().is_none() {
+                        return Err(format!("{ctx}: metric '{key}' is not a number"));
+                    }
+                }
+            }
+            let failures = config
+                .get("failures")
+                .and_then(Json::as_u64)
+                .expect("checked");
+            if failures != unconverged {
+                return Err(format!(
+                    "{ctx}: failures = {failures} but {unconverged} trials unconverged"
+                ));
+            }
+            let aggregates = config
+                .get("aggregates")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("{ctx}: missing aggregates object"))?;
+            for (metric, agg) in aggregates {
+                for key in [
+                    "count", "mean", "std", "ci95", "min", "max", "q25", "median", "q75",
+                ] {
+                    if agg.get(key).is_none() {
+                        return Err(format!("{ctx}: aggregate '{metric}' missing '{key}'"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn series_json(series: &Series) -> Json {
+    Json::Obj(vec![
+        (
+            "t".into(),
+            Json::Arr(series.t.iter().map(|&t| Json::Num(t)).collect()),
+        ),
+        (
+            "v".into(),
+            Json::Arr(series.v.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+    ])
+}
+
+fn config_json(config: &ConfigResult) -> Json {
+    let trials = config.trials.iter().map(TrialRecord::to_json).collect();
+    let aggregates = config
+        .aggregates
+        .iter()
+        .map(|(name, a)| {
+            (
+                name.clone(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Uint(a.count as u64)),
+                    ("mean".into(), Json::Num(a.mean)),
+                    ("std".into(), Json::Num(a.std)),
+                    ("ci95".into(), Json::Num(a.ci95)),
+                    ("min".into(), Json::Num(a.min)),
+                    ("max".into(), Json::Num(a.max)),
+                    ("q25".into(), Json::Num(a.q25)),
+                    ("median".into(), Json::Num(a.median)),
+                    ("q75".into(), Json::Num(a.q75)),
+                ]),
+            )
+        })
+        .collect();
+    let mut fields = vec![
+        ("protocol".into(), Json::Str(config.protocol.name().into())),
+        ("n".into(), Json::Uint(config.n)),
+        ("config_seed".into(), Json::Uint(config.config_seed)),
+        ("failures".into(), Json::Uint(config.failures as u64)),
+        ("trials".into(), Json::Arr(trials)),
+        ("aggregates".into(), Json::Obj(aggregates)),
+    ];
+    if let Some(survival) = &config.survival {
+        fields.push(("survival".into(), series_json(survival)));
+    }
+    Json::Obj(fields)
+}

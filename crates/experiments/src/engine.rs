@@ -1,0 +1,250 @@
+//! Plan expansion and sharded execution.
+//!
+//! A spec expands into a deterministic grid of configs (protocol × n) and,
+//! per config, a plan of trial jobs with pre-derived seeds. Jobs shard
+//! over `ppsim::run_trials_threads`; per-trial results are independent of
+//! scheduling, stream through the online aggregators in trial order, and
+//! land in a versioned [`Artifact`] — so the same spec and seed give a
+//! byte-identical artifact at any thread count, and any single trial can
+//! be replayed bit-identically from its `(seed, config, trial)` address.
+
+use ppsim::parallel::{default_threads, run_trials_threads};
+use ppsim::rng::split_seed;
+
+use crate::artifact::{Artifact, ConfigResult, TrialRecord};
+use crate::registry::{ProtocolKind, RunShape, Runnable};
+use crate::spec::{ExperimentSpec, ObservableSet};
+
+/// The expanded config grid of a spec: `protocols × ns`, protocol-major
+/// (config index `p * ns.len() + i`).
+pub fn config_grid(spec: &ExperimentSpec) -> Vec<(ProtocolKind, u64)> {
+    spec.protocols
+        .iter()
+        .flat_map(|&p| spec.ns.iter().map(move |&n| (p, n)))
+        .collect()
+}
+
+/// Execute a whole experiment.
+///
+/// Validates the spec, compiles each config's protocol once (trials share
+/// the tables through cheap clones), shards trials over worker threads
+/// (`spec.threads`, `0` = the `PPSIM_THREADS` environment variable or the
+/// machine's parallelism), and aggregates results online.
+pub fn run_experiment(spec: &ExperimentSpec) -> Result<Artifact, String> {
+    spec.validate()?;
+    let threads = if spec.threads == 0 {
+        default_threads()
+    } else {
+        spec.threads
+    };
+    let census = spec.observables == ObservableSet::Census;
+    let shape = RunShape {
+        engine: spec.engine,
+        policy: spec.batch_policy(),
+        stop: spec.stop,
+        sample_at: &spec.sample_at,
+    };
+    let mut configs = Vec::new();
+    for (index, (protocol, n)) in config_grid(spec).into_iter().enumerate() {
+        let runnable = Runnable::build(protocol, n, spec.compiled)?;
+        let config_seed = split_seed(spec.seed, index as u64);
+        let trials = run_trials_threads(spec.trials, config_seed, threads, |trial, seed| {
+            TrialRecord {
+                trial,
+                seed,
+                outcome: runnable.run(n, seed, &shape, census),
+            }
+        });
+        configs.push(ConfigResult::collect(
+            protocol,
+            n,
+            config_seed,
+            trials,
+            spec.stop,
+        ));
+    }
+    Ok(Artifact {
+        spec: spec.clone(),
+        configs,
+    })
+}
+
+/// Re-run a single trial of a spec, bit-identically.
+///
+/// `config` indexes the grid of [`config_grid`], `trial` the trial within
+/// it. The derived seed chain is the same as in [`run_experiment`], so the
+/// returned record must equal the artifact's — the determinism suite pins
+/// this.
+pub fn replay_trial(
+    spec: &ExperimentSpec,
+    config: usize,
+    trial: usize,
+) -> Result<TrialRecord, String> {
+    spec.validate()?;
+    let grid = config_grid(spec);
+    let &(protocol, n) = grid
+        .get(config)
+        .ok_or_else(|| format!("config {config} out of range (grid has {})", grid.len()))?;
+    if trial >= spec.trials {
+        return Err(format!(
+            "trial {trial} out of range (spec has {} trials)",
+            spec.trials
+        ));
+    }
+    let runnable = Runnable::build(protocol, n, spec.compiled)?;
+    let config_seed = split_seed(spec.seed, config as u64);
+    let seed = split_seed(config_seed, trial as u64);
+    let shape = RunShape {
+        engine: spec.engine,
+        policy: spec.batch_policy(),
+        stop: spec.stop,
+        sample_at: &spec.sample_at,
+    };
+    Ok(TrialRecord {
+        trial,
+        seed,
+        outcome: runnable.run(n, seed, &shape, spec.observables == ObservableSet::Census),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EngineKind, StopCondition};
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            protocols: vec![ProtocolKind::Slow, ProtocolKind::Gsu19],
+            ns: vec![64, 128],
+            trials: 3,
+            seed: 7,
+            stop: StopCondition::Stabilize {
+                budget_pt: 20_000.0,
+            },
+            ..ExperimentSpec::default()
+        }
+    }
+
+    #[test]
+    fn grid_is_protocol_major() {
+        let spec = tiny_spec();
+        assert_eq!(
+            config_grid(&spec),
+            vec![
+                (ProtocolKind::Slow, 64),
+                (ProtocolKind::Slow, 128),
+                (ProtocolKind::Gsu19, 64),
+                (ProtocolKind::Gsu19, 128),
+            ]
+        );
+    }
+
+    #[test]
+    fn artifact_bytes_are_thread_count_invariant() {
+        let mut spec = tiny_spec();
+        spec.threads = 1;
+        let sequential = run_experiment(&spec).unwrap().to_json_string();
+        spec.threads = 4;
+        let sharded = run_experiment(&spec).unwrap().to_json_string();
+        assert_eq!(sequential, sharded);
+    }
+
+    #[test]
+    fn replay_matches_recorded_trial() {
+        let spec = tiny_spec();
+        let artifact = run_experiment(&spec).unwrap();
+        for config in [0usize, 3] {
+            for trial in 0..spec.trials {
+                let replayed = replay_trial(&spec, config, trial).unwrap();
+                assert_eq!(replayed, artifact.configs[config].trials[trial]);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_rejects_out_of_range_addresses() {
+        let spec = tiny_spec();
+        assert!(replay_trial(&spec, 99, 0).is_err());
+        assert!(replay_trial(&spec, 0, 99).is_err());
+    }
+
+    #[test]
+    fn aggregates_match_per_trial_records() {
+        let spec = tiny_spec();
+        let artifact = run_experiment(&spec).unwrap();
+        for config in &artifact.configs {
+            let times: Vec<f64> = config
+                .trials
+                .iter()
+                .filter(|r| r.outcome.converged)
+                .filter_map(|r| r.outcome.metric("time"))
+                .collect();
+            let agg = config.aggregate("time").unwrap();
+            assert_eq!(agg.count, times.len());
+            assert!((agg.mean - ppsim::mean(&times)).abs() < 1e-9);
+            let survival = config.survival.as_ref().unwrap();
+            assert_eq!(survival.v.last(), Some(&0.0), "all trials converged");
+        }
+    }
+
+    #[test]
+    fn failures_are_counted_and_censored() {
+        let mut spec = tiny_spec();
+        // SlowLe cannot stabilise 128 agents in half a parallel time unit.
+        spec.protocols = vec![ProtocolKind::Slow];
+        spec.ns = vec![128];
+        spec.stop = StopCondition::Stabilize { budget_pt: 0.5 };
+        let artifact = run_experiment(&spec).unwrap();
+        let config = &artifact.configs[0];
+        assert_eq!(config.failures, spec.trials);
+        assert!(config.aggregate("time").is_none());
+        assert!(config.survival.as_ref().unwrap().is_empty());
+        // The artifact still validates.
+        let doc = crate::json::parse(&artifact.to_json_string()).unwrap();
+        Artifact::validate_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn emitted_artifact_validates_and_round_trips() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolKind::Gsu19];
+        spec.ns = vec![128];
+        spec.engine = EngineKind::Urn;
+        spec.observables = ObservableSet::Census;
+        spec.stop = StopCondition::Horizon { at_pt: 10.0 };
+        spec.sample_at = vec![2.0, 10.0];
+        let artifact = run_experiment(&spec).unwrap();
+        let text = artifact.to_json_string();
+        let doc = crate::json::parse(&text).unwrap();
+        Artifact::validate_json(&doc).unwrap();
+        // Traces made it through.
+        let trial = &doc.get("configs").unwrap().as_arr().unwrap()[0]
+            .get("trials")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        let leaders = trial.get("traces").unwrap().get("leaders").unwrap();
+        assert_eq!(leaders.get("t").unwrap().as_arr().unwrap().len(), 2);
+        // CSV has one row per (trial, metric) plus the header.
+        let csv = artifact.to_csv();
+        let metric_count = artifact.configs[0].trials[0].outcome.metrics.len();
+        assert_eq!(csv.lines().count(), 1 + spec.trials * metric_count);
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_artifacts() {
+        let spec = tiny_spec();
+        let artifact = run_experiment(&spec).unwrap();
+        let good = artifact.to_json_string();
+        for (from, to) in [
+            ("ppexp/v1", "ppexp/v0"),
+            ("\"failures\": 0", "\"failures\": 1"),
+            ("\"converged\": true", "\"converged\": \"yes\""),
+        ] {
+            let bad = good.replacen(from, to, 1);
+            assert_ne!(bad, good, "mutation '{from}' did not apply");
+            let doc = crate::json::parse(&bad).unwrap();
+            assert!(Artifact::validate_json(&doc).is_err(), "mutation '{from}'");
+        }
+    }
+}

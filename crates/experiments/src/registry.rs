@@ -1,0 +1,428 @@
+//! Protocol registry: one place that knows every protocol of the study,
+//! how to construct it for a population, whether it can be compiled, and
+//! how to drive one trial of it on any engine.
+//!
+//! This replaces the protocol `match` arms that used to be duplicated
+//! across `ppctl`, `crossover` and the examples — adding a protocol means
+//! extending [`ProtocolKind`] and [`Runnable`] here, and every consumer
+//! (CLI, presets, benches) picks it up.
+
+use baselines::{Bkko18, Gs18, SlowLe};
+use core_protocol::{AgentState, Census, Gsu19, Params};
+use ppsim::trace::Series;
+use ppsim::{
+    run_until_stable_with, AgentSim, BatchPolicy, CompiledProtocol, EnumerableProtocol, Simulator,
+    UrnSim,
+};
+
+use crate::spec::{EngineKind, StopCondition};
+
+/// The protocols this repository can run, by CLI/spec name.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ProtocolKind {
+    /// The paper's protocol (GSU19).
+    Gsu19,
+    /// GS18-style baseline: junta clock, fair-ish coins, no cascade/drag.
+    Gs18,
+    /// BKKO18-style baseline: interaction-counter clock, parity coins.
+    Bkko18,
+    /// The 2-state AAD+04 protocol.
+    Slow,
+}
+
+impl ProtocolKind {
+    /// Every registered protocol, in canonical order.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Gsu19,
+        ProtocolKind::Gs18,
+        ProtocolKind::Bkko18,
+        ProtocolKind::Slow,
+    ];
+
+    /// Parse a CLI/spec protocol name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "gsu19" => Some(ProtocolKind::Gsu19),
+            "gs18" => Some(ProtocolKind::Gs18),
+            "bkko18" => Some(ProtocolKind::Bkko18),
+            "slow" => Some(ProtocolKind::Slow),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (inverse of [`ProtocolKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Gsu19 => "gsu19",
+            ProtocolKind::Gs18 => "gs18",
+            ProtocolKind::Bkko18 => "bkko18",
+            ProtocolKind::Slow => "slow",
+        }
+    }
+
+    /// Whether `ppsim::compiled` transition tables exist for it.
+    pub fn supports_compiled(self) -> bool {
+        matches!(self, ProtocolKind::Gsu19 | ProtocolKind::Gs18)
+    }
+
+    /// Whether the GSU19 census observables apply.
+    pub fn supports_census(self) -> bool {
+        self == ProtocolKind::Gsu19
+    }
+
+    /// Size of the enumerated state space at population `n`.
+    pub fn num_states(self, n: u64) -> usize {
+        match self {
+            ProtocolKind::Gsu19 => Gsu19::for_population(n).num_states(),
+            ProtocolKind::Gs18 => Gs18::for_population(n).num_states(),
+            ProtocolKind::Bkko18 => Bkko18::for_population(n).num_states(),
+            ProtocolKind::Slow => SlowLe.num_states(),
+        }
+    }
+
+    /// The paper's asymptotic bounds, for comparison tables.
+    pub fn paper_bounds(self) -> &'static str {
+        match self {
+            ProtocolKind::Gsu19 => "O(log log n) states, O(log n·log log n) expected",
+            ProtocolKind::Gs18 => "O(log log n) states, O(log² n) whp",
+            ProtocolKind::Bkko18 => "O(log n) states, O(log² n) whp",
+            ProtocolKind::Slow => "O(1) states, O(n) expected",
+        }
+    }
+}
+
+/// Everything [`drive`] needs to know about how one trial executes.
+pub(crate) struct RunShape<'a> {
+    pub engine: EngineKind,
+    pub policy: BatchPolicy,
+    pub stop: StopCondition,
+    pub sample_at: &'a [f64],
+}
+
+/// Raw result of one trial before the engine attaches provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Whether the stopping predicate fired within the budget (always
+    /// `true` for horizon runs).
+    pub converged: bool,
+    /// Named scalar metrics at the stopping point, in a fixed order.
+    pub metrics: Vec<(String, f64)>,
+    /// One trajectory per sampled metric (empty unless the spec sets
+    /// `sample_at`); x-axis is parallel time.
+    pub traces: Vec<Series>,
+}
+
+impl TrialOutcome {
+    /// Value of a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Extra per-snapshot metrics beyond the core set; generic over the
+/// simulator so one trial function serves every engine.
+pub(crate) trait Probe<S: Simulator> {
+    fn measure(&self, sim: &S, out: &mut Vec<(String, f64)>);
+}
+
+/// Core metrics only.
+pub(crate) struct CoreProbe;
+
+impl<S: Simulator> Probe<S> for CoreProbe {
+    fn measure(&self, _sim: &S, _out: &mut Vec<(String, f64)>) {}
+}
+
+/// Protocols whose states decode to a GSU19 [`AgentState`], so a census
+/// can be taken: the plain protocol (identity) and its compiled form
+/// (packed-id decode).
+pub(crate) trait GsuDecode: EnumerableProtocol {
+    fn gsu_params(&self) -> Params;
+    fn decode_gsu(&self, s: Self::State) -> AgentState;
+}
+
+impl GsuDecode for Gsu19 {
+    fn gsu_params(&self) -> Params {
+        *self.params()
+    }
+    fn decode_gsu(&self, s: AgentState) -> AgentState {
+        s
+    }
+}
+
+impl GsuDecode for CompiledProtocol<Gsu19> {
+    fn gsu_params(&self) -> Params {
+        *self.inner().params()
+    }
+    fn decode_gsu(&self, s: u32) -> AgentState {
+        self.decode_state(s)
+    }
+}
+
+/// Census metrics for GSU19 (role counts plus the coin sub-population
+/// sizes `C_ℓ` of Section 5, emitted as `coins_ge{l}`).
+pub(crate) struct CensusProbe<P: GsuDecode> {
+    proto: P,
+    params: Params,
+}
+
+impl<P: GsuDecode> CensusProbe<P> {
+    fn new(proto: P) -> Self {
+        let params = proto.gsu_params();
+        Self { proto, params }
+    }
+}
+
+impl<P: GsuDecode, S: Simulator<State = P::State>> Probe<S> for CensusProbe<P> {
+    fn measure(&self, sim: &S, out: &mut Vec<(String, f64)>) {
+        let c = Census::of_with(sim, &self.params, |s| self.proto.decode_gsu(s));
+        out.push(("zero".into(), c.zero as f64));
+        out.push(("x".into(), c.x as f64));
+        out.push(("deactivated".into(), c.d as f64));
+        out.push(("coins".into(), c.coins() as f64));
+        out.push(("inhibitors".into(), c.inhibitors() as f64));
+        out.push(("active".into(), c.active as f64));
+        out.push(("passive".into(), c.passive as f64));
+        out.push(("withdrawn".into(), c.withdrawn as f64));
+        out.push(("alive".into(), c.alive() as f64));
+        for l in 0..=self.params.phi {
+            out.push((format!("coins_ge{l}"), c.coins_at_least(l) as f64));
+        }
+    }
+}
+
+/// A protocol instantiated for one population, ready to run trials —
+/// compiled protocols are built once per config and shared across trials
+/// through cheap clones.
+pub(crate) enum Runnable {
+    Gsu19(Gsu19),
+    Gs18(Gs18),
+    Bkko18(Bkko18),
+    Slow(SlowLe),
+    CompiledGsu19(CompiledProtocol<Gsu19>),
+    CompiledGs18(CompiledProtocol<Gs18>),
+}
+
+impl Runnable {
+    /// Instantiate `kind` for population `n` (compiling tables once if
+    /// requested; the spec validator has already checked support).
+    pub fn build(kind: ProtocolKind, n: u64, compiled: bool) -> Result<Self, String> {
+        Ok(match (kind, compiled) {
+            (ProtocolKind::Gsu19, false) => Runnable::Gsu19(Gsu19::for_population(n)),
+            (ProtocolKind::Gs18, false) => Runnable::Gs18(Gs18::for_population(n)),
+            (ProtocolKind::Bkko18, false) => Runnable::Bkko18(Bkko18::for_population(n)),
+            (ProtocolKind::Slow, false) => Runnable::Slow(SlowLe),
+            (ProtocolKind::Gsu19, true) => {
+                Runnable::CompiledGsu19(Gsu19::for_population(n).compiled())
+            }
+            (ProtocolKind::Gs18, true) => {
+                Runnable::CompiledGs18(Gs18::for_population(n).compiled())
+            }
+            (kind, true) => {
+                return Err(format!(
+                    "protocol '{}' has no compiled tables (gsu19 | gs18 only)",
+                    kind.name()
+                ))
+            }
+        })
+    }
+
+    /// Run one trial. `census` selects the census probe; the spec
+    /// validator guarantees it is only set for GSU19 variants.
+    pub fn run(&self, n: u64, seed: u64, shape: &RunShape, census: bool) -> TrialOutcome {
+        match self {
+            Runnable::Gsu19(p) => {
+                if census {
+                    run_one(*p, n, seed, shape, &CensusProbe::new(*p))
+                } else {
+                    run_one(*p, n, seed, shape, &CoreProbe)
+                }
+            }
+            Runnable::CompiledGsu19(p) => {
+                if census {
+                    run_one(p.clone(), n, seed, shape, &CensusProbe::new(p.clone()))
+                } else {
+                    run_one(p.clone(), n, seed, shape, &CoreProbe)
+                }
+            }
+            Runnable::Gs18(p) => run_one(*p, n, seed, shape, &CoreProbe),
+            Runnable::CompiledGs18(p) => run_one(p.clone(), n, seed, shape, &CoreProbe),
+            Runnable::Bkko18(p) => run_one(*p, n, seed, shape, &CoreProbe),
+            Runnable::Slow(p) => run_one(*p, n, seed, shape, &CoreProbe),
+        }
+    }
+}
+
+fn run_one<P, B>(proto: P, n: u64, seed: u64, shape: &RunShape, probe: &B) -> TrialOutcome
+where
+    P: EnumerableProtocol,
+    B: Probe<AgentSim<P>> + Probe<UrnSim<P>>,
+{
+    match shape.engine {
+        EngineKind::Agent => {
+            let mut sim = AgentSim::new(proto, n as usize, seed);
+            drive(&mut sim, shape, probe)
+        }
+        EngineKind::Urn | EngineKind::UrnBatched => {
+            let mut sim = UrnSim::new(proto, n, seed);
+            drive(&mut sim, shape, probe)
+        }
+    }
+}
+
+/// Drive one simulation to its stopping condition, recording metrics (and
+/// trajectories at the spec's sample points).
+fn drive<S: Simulator>(sim: &mut S, shape: &RunShape, probe: &impl Probe<S>) -> TrialOutcome {
+    let n = sim.population();
+    let snapshot = |sim: &S, out: &mut Vec<(String, f64)>| {
+        out.push(("leaders".into(), sim.leaders() as f64));
+        out.push(("undecided".into(), sim.undecided() as f64));
+        probe.measure(sim, out);
+    };
+    match shape.stop {
+        StopCondition::Stabilize { budget_pt } => {
+            let budget = (budget_pt * n as f64) as u64;
+            let res = run_until_stable_with(sim, &shape.policy, budget);
+            let mut metrics = vec![
+                ("time".to_string(), res.parallel_time),
+                ("interactions".to_string(), res.interactions as f64),
+            ];
+            snapshot(sim, &mut metrics);
+            TrialOutcome {
+                converged: res.converged,
+                metrics,
+                traces: Vec::new(),
+            }
+        }
+        StopCondition::Horizon { at_pt } => {
+            let mut traces: Vec<Series> = Vec::new();
+            for &t in shape.sample_at {
+                let target = (t * n as f64) as u64;
+                sim.steps_bulk(target.saturating_sub(sim.interactions()), &shape.policy);
+                let mut row = Vec::new();
+                snapshot(sim, &mut row);
+                if traces.is_empty() {
+                    traces = row
+                        .iter()
+                        .map(|(name, _)| Series::new(name.clone()))
+                        .collect();
+                }
+                let pt = sim.parallel_time();
+                for (series, &(_, v)) in traces.iter_mut().zip(&row) {
+                    series.push(pt, v);
+                }
+            }
+            let target = (at_pt * n as f64) as u64;
+            sim.steps_bulk(target.saturating_sub(sim.interactions()), &shape.policy);
+            let mut metrics = vec![
+                ("time".to_string(), sim.parallel_time()),
+                ("interactions".to_string(), sim.interactions() as f64),
+            ];
+            snapshot(sim, &mut metrics);
+            TrialOutcome {
+                converged: true,
+                metrics,
+                traces,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::parse("gsu20"), None);
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(ProtocolKind::Gsu19.supports_compiled());
+        assert!(ProtocolKind::Gs18.supports_compiled());
+        assert!(!ProtocolKind::Bkko18.supports_compiled());
+        assert!(!ProtocolKind::Slow.supports_compiled());
+        assert!(ProtocolKind::Gsu19.supports_census());
+        assert!(!ProtocolKind::Gs18.supports_census());
+    }
+
+    #[test]
+    fn num_states_matches_direct_construction() {
+        assert_eq!(ProtocolKind::Slow.num_states(128), 2);
+        assert_eq!(
+            ProtocolKind::Gsu19.num_states(1 << 10),
+            Gsu19::for_population(1 << 10).num_states()
+        );
+    }
+
+    #[test]
+    fn build_rejects_uncompilable() {
+        assert!(Runnable::build(ProtocolKind::Bkko18, 64, true).is_err());
+        assert!(Runnable::build(ProtocolKind::Gsu19, 64, true).is_ok());
+    }
+
+    #[test]
+    fn stabilize_outcome_has_core_metrics() {
+        let shape = RunShape {
+            engine: EngineKind::Agent,
+            policy: BatchPolicy::PerStep,
+            stop: StopCondition::Stabilize {
+                budget_pt: 10_000.0,
+            },
+            sample_at: &[],
+        };
+        let r = Runnable::build(ProtocolKind::Slow, 64, false).unwrap();
+        let out = r.run(64, 1, &shape, false);
+        assert!(out.converged);
+        assert_eq!(out.metric("leaders"), Some(1.0));
+        assert_eq!(out.metric("undecided"), Some(0.0));
+        assert!(out.metric("time").unwrap() > 0.0);
+        assert!(out.traces.is_empty());
+    }
+
+    #[test]
+    fn horizon_outcome_samples_traces() {
+        let shape = RunShape {
+            engine: EngineKind::Urn,
+            policy: BatchPolicy::PerStep,
+            stop: StopCondition::Horizon { at_pt: 4.0 },
+            sample_at: &[1.0, 2.0, 4.0],
+        };
+        let r = Runnable::build(ProtocolKind::Gsu19, 256, false).unwrap();
+        let out = r.run(256, 3, &shape, true);
+        assert!(out.converged);
+        // Census metrics present.
+        assert!(out.metric("coins_ge0").is_some());
+        assert_eq!(out.metric("interactions"), Some(1024.0));
+        // One series per sampled metric, three points each.
+        assert!(!out.traces.is_empty());
+        assert!(out.traces.iter().all(|s| s.len() == 3));
+        let leaders = out.traces.iter().find(|s| s.name == "leaders").unwrap();
+        assert_eq!(leaders.t, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn compiled_census_decodes_states() {
+        let shape = RunShape {
+            engine: EngineKind::Agent,
+            policy: BatchPolicy::PerStep,
+            stop: StopCondition::Horizon { at_pt: 2.0 },
+            sample_at: &[],
+        };
+        let n = 256u64;
+        let plain = Runnable::build(ProtocolKind::Gsu19, n, false).unwrap();
+        let compiled = Runnable::build(ProtocolKind::Gsu19, n, true).unwrap();
+        // Compiled trajectories are bit-identical to dynamic ones under
+        // decoding (pinned by tests/compiled_equivalence.rs), so the whole
+        // census must agree too.
+        let a = plain.run(n, 9, &shape, true);
+        let b = compiled.run(n, 9, &shape, true);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

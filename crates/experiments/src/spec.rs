@@ -1,0 +1,537 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] names everything a study needs — protocols,
+//! engine, population grid, trial count, master seed, batching, stopping
+//! condition and observables — and nothing about *how* it executes: the
+//! engine ([`crate::run_experiment`]) expands it into a deterministic plan
+//! of trial jobs. Specs parse from `key = value` lines (spec files, with
+//! `#` comments) and the same keys back every CLI flag of `ppctl run`, so
+//! a flag is exactly a one-line spec override.
+
+use ppsim::BatchPolicy;
+
+use crate::json::Json;
+use crate::registry::ProtocolKind;
+
+/// Execution engine selector (mirrors `ppctl --engine`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Explicit agent array; exact sequential reference.
+    Agent,
+    /// Count-based urn, sequential sampling.
+    Urn,
+    /// Count-based urn with batched multinomial sampling (`ppsim::batch`).
+    UrnBatched,
+}
+
+impl EngineKind {
+    /// Parse an engine name as used by the CLI and spec files.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "agent" => Ok(EngineKind::Agent),
+            "urn" => Ok(EngineKind::Urn),
+            "urn-batched" => Ok(EngineKind::UrnBatched),
+            other => Err(format!(
+                "unknown engine '{other}' (expected agent | urn | urn-batched)"
+            )),
+        }
+    }
+
+    /// Canonical name (inverse of [`EngineKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Agent => "agent",
+            EngineKind::Urn => "urn",
+            EngineKind::UrnBatched => "urn-batched",
+        }
+    }
+}
+
+/// When a trial stops.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StopCondition {
+    /// Run until stably elected or the budget (in parallel time) expires.
+    Stabilize {
+        /// Per-trial interaction budget, in parallel-time units.
+        budget_pt: f64,
+    },
+    /// Run for a fixed horizon of parallel time.
+    Horizon {
+        /// Horizon, in parallel-time units.
+        at_pt: f64,
+    },
+}
+
+/// Which per-trial metrics a trial records (beyond the core set of
+/// `time`/`interactions`/`leaders`/`undecided`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObservableSet {
+    /// Core metrics only — available for every protocol and engine.
+    Core,
+    /// Core plus a GSU19 census: role counts and the coin sub-population
+    /// sizes `C_ℓ` (`coins_ge{l}`). Requires every protocol to be `gsu19`.
+    Census,
+}
+
+impl ObservableSet {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "core" => Ok(ObservableSet::Core),
+            "census" => Ok(ObservableSet::Census),
+            other => Err(format!(
+                "unknown observables '{other}' (expected core | census)"
+            )),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ObservableSet::Core => "core",
+            ObservableSet::Census => "census",
+        }
+    }
+}
+
+/// A declarative experiment: protocols × population grid, with engine,
+/// trials, seed, batching, stopping condition and observables.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExperimentSpec {
+    /// Protocols under study; the config grid is `protocols × ns`.
+    pub protocols: Vec<ProtocolKind>,
+    /// Execution engine shared by every config.
+    pub engine: EngineKind,
+    /// Run on compiled transition tables (`ppsim::compiled`); requires
+    /// every protocol to support compilation (gsu19, gs18).
+    pub compiled: bool,
+    /// Population grid.
+    pub ns: Vec<u64>,
+    /// Independent trials per config.
+    pub trials: usize,
+    /// Master seed. Config `c` gets `split_seed(seed, c)`; trial `t` of a
+    /// config gets `split_seed(config_seed, t)` — full provenance, so any
+    /// trial replays bit-identically from `(seed, config, trial)` alone.
+    pub seed: u64,
+    /// Worker threads; 0 means auto (the `PPSIM_THREADS` environment
+    /// variable, falling back to the machine's parallelism).
+    pub threads: usize,
+    /// Batch-size shift for the `urn-batched` engine: batches of
+    /// `n >> batch_shift` interactions (ignored by the other engines).
+    pub batch_shift: u32,
+    /// Stopping condition shared by every config.
+    pub stop: StopCondition,
+    /// Per-trial metric set.
+    pub observables: ObservableSet,
+    /// Parallel times at which to sample every metric into per-trial
+    /// trajectories ([`ppsim::trace::Series`]). Only valid with
+    /// [`StopCondition::Horizon`]; must be ascending and within the
+    /// horizon.
+    pub sample_at: Vec<f64>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        Self {
+            protocols: vec![ProtocolKind::Gsu19],
+            engine: EngineKind::Agent,
+            compiled: false,
+            ns: vec![1 << 12],
+            trials: 8,
+            seed: 42,
+            threads: 0,
+            batch_shift: BatchPolicy::DEFAULT_SHIFT,
+            stop: StopCondition::Stabilize {
+                budget_pt: 200_000.0,
+            },
+            observables: ObservableSet::Core,
+            sample_at: Vec::new(),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Parse a spec file: `key = value` lines, `#` starts a comment,
+    /// blank lines ignored. Unknown keys are errors (a silently dropped
+    /// key is a silently different experiment).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = ExperimentSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected 'key = value'", lineno + 1))?;
+            spec.apply(key.trim(), value.trim())
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        Ok(spec)
+    }
+
+    /// Apply one `key = value` assignment. The keys double as the long
+    /// CLI flags of `ppctl run` (with `-` in place of `_`).
+    pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "protocols" | "protocol" => {
+                self.protocols = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        ProtocolKind::parse(name).ok_or_else(|| {
+                            format!(
+                                "unknown protocol '{name}' (expected {})",
+                                ProtocolKind::ALL.map(ProtocolKind::name).join(" | ")
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "engine" => self.engine = EngineKind::parse(value)?,
+            "compiled" => self.compiled = parse_bool(value)?,
+            "n" => self.ns = parse_n_grid(value)?,
+            "trials" => self.trials = parse_num(value, "trials")?,
+            "seed" => self.seed = parse_num(value, "seed")?,
+            "threads" => self.threads = parse_num(value, "threads")?,
+            "batch_shift" | "batch-shift" => self.batch_shift = parse_num(value, "batch_shift")?,
+            "stop" => {
+                let (kind, amount) = value
+                    .split_once(':')
+                    .ok_or("stop takes 'stabilize:BUDGET_PT' or 'horizon:AT_PT'")?;
+                let amount: f64 = amount
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid stop amount '{amount}'"))?;
+                self.stop = match kind.trim() {
+                    "stabilize" => StopCondition::Stabilize { budget_pt: amount },
+                    "horizon" => StopCondition::Horizon { at_pt: amount },
+                    other => return Err(format!("unknown stop kind '{other}'")),
+                };
+            }
+            "budget" => {
+                self.stop = StopCondition::Stabilize {
+                    budget_pt: parse_num_f(value, "budget")?,
+                }
+            }
+            "at" => {
+                self.stop = StopCondition::Horizon {
+                    at_pt: parse_num_f(value, "at")?,
+                }
+            }
+            "observables" => self.observables = ObservableSet::parse(value)?,
+            "sample_at" | "sample-at" => {
+                self.sample_at = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|_| format!("invalid sample time '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown spec key '{other}'")),
+        }
+        Ok(())
+    }
+
+    /// Check internal consistency; [`crate::run_experiment`] calls this
+    /// before expanding the plan.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.protocols.is_empty() {
+            return Err("no protocols selected".into());
+        }
+        if self.ns.is_empty() {
+            return Err("empty population grid".into());
+        }
+        if let Some(&n) = self.ns.iter().find(|&&n| n < 2) {
+            return Err(format!("population {n} too small (need n >= 2)"));
+        }
+        if self.trials == 0 {
+            return Err("trials must be at least 1".into());
+        }
+        if self.compiled {
+            if let Some(p) = self.protocols.iter().find(|p| !p.supports_compiled()) {
+                return Err(format!(
+                    "compiled = true but protocol '{}' has no compiled tables (gsu19 | gs18 only)",
+                    p.name()
+                ));
+            }
+        }
+        if self.observables == ObservableSet::Census {
+            if let Some(p) = self.protocols.iter().find(|p| !p.supports_census()) {
+                return Err(format!(
+                    "observables = census requires gsu19 (got '{}')",
+                    p.name()
+                ));
+            }
+        }
+        if self.batch_shift == 0 || self.batch_shift > 32 {
+            return Err(format!(
+                "batch_shift {} out of range (1..=32)",
+                self.batch_shift
+            ));
+        }
+        match self.stop {
+            StopCondition::Stabilize { budget_pt } => {
+                if !budget_pt.is_finite() || budget_pt <= 0.0 {
+                    return Err(format!("stabilize budget {budget_pt} must be positive"));
+                }
+                if !self.sample_at.is_empty() {
+                    return Err("sample_at requires a horizon stop (stop = horizon:T)".into());
+                }
+            }
+            StopCondition::Horizon { at_pt } => {
+                if !at_pt.is_finite() || at_pt <= 0.0 {
+                    return Err(format!("horizon {at_pt} must be positive"));
+                }
+                if let Some(&t) = self.sample_at.iter().find(|t| !t.is_finite() || **t <= 0.0) {
+                    return Err(format!("sample_at time {t} must be positive and finite"));
+                }
+                if self.sample_at.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("sample_at times must be strictly ascending".into());
+                }
+                if let Some(&t) = self.sample_at.last() {
+                    if t > at_pt {
+                        return Err(format!("sample_at time {t} exceeds the horizon {at_pt}"));
+                    }
+                }
+            }
+        }
+        if self.engine == EngineKind::Agent {
+            if let Some(&n) = self.ns.iter().find(|&&n| n > (1 << 27)) {
+                return Err(format!(
+                    "n = {n} needs gigabytes as an agent array; use engine = urn or urn-batched"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The batch policy this spec's engine runs under: adaptive batches
+    /// for `urn-batched`, exact per-step scheduling otherwise.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        match self.engine {
+            EngineKind::UrnBatched => BatchPolicy::Adaptive {
+                shift: self.batch_shift,
+                min_population: BatchPolicy::DEFAULT_MIN_POPULATION,
+            },
+            _ => BatchPolicy::PerStep,
+        }
+    }
+
+    /// Canonical JSON form, embedded in every artifact so an artifact is
+    /// self-describing and replayable.
+    pub fn to_json(&self) -> Json {
+        let stop = match self.stop {
+            StopCondition::Stabilize { budget_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("stabilize".into())),
+                ("budget_pt".into(), Json::Num(budget_pt)),
+            ]),
+            StopCondition::Horizon { at_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("horizon".into())),
+                ("at_pt".into(), Json::Num(at_pt)),
+            ]),
+        };
+        Json::Obj(vec![
+            (
+                "protocols".into(),
+                Json::Arr(
+                    self.protocols
+                        .iter()
+                        .map(|p| Json::Str(p.name().into()))
+                        .collect(),
+                ),
+            ),
+            ("engine".into(), Json::Str(self.engine.name().into())),
+            ("compiled".into(), Json::Bool(self.compiled)),
+            (
+                "n".into(),
+                Json::Arr(self.ns.iter().map(|&n| Json::Uint(n)).collect()),
+            ),
+            ("trials".into(), Json::Uint(self.trials as u64)),
+            ("seed".into(), Json::Uint(self.seed)),
+            ("batch_shift".into(), Json::Uint(self.batch_shift as u64)),
+            ("stop".into(), stop),
+            (
+                "observables".into(),
+                Json::Str(self.observables.name().into()),
+            ),
+            (
+                "sample_at".into(),
+                Json::Arr(self.sample_at.iter().map(|&t| Json::Num(t)).collect()),
+            ),
+        ])
+        // `threads` is deliberately absent: it must not affect results, so
+        // it is not part of the experiment's identity.
+    }
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value {
+        "true" | "1" | "yes" => Ok(true),
+        "false" | "0" | "no" => Ok(false),
+        other => Err(format!("invalid boolean '{other}'")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid {what} '{value}'"))
+}
+
+fn parse_num_f(value: &str, what: &str) -> Result<f64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid {what} '{value}'"))
+}
+
+/// Population grid syntax: `A..B` doubles from A up to B inclusive,
+/// `a,b,c` is an explicit list, a single number is a one-point grid.
+pub fn parse_n_grid(value: &str) -> Result<Vec<u64>, String> {
+    if let Some((a, b)) = value.split_once("..") {
+        let lo: u64 = parse_num(a.trim(), "population")?;
+        let hi: u64 = parse_num(b.trim(), "population")?;
+        if lo == 0 || lo > hi {
+            return Err(format!("bad population range {lo}..{hi}"));
+        }
+        let mut grid = Vec::new();
+        let mut n = lo;
+        while n <= hi {
+            grid.push(n);
+            match n.checked_mul(2) {
+                Some(next) => n = next,
+                None => break,
+            }
+        }
+        Ok(grid)
+    } else {
+        value
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_num(s, "population"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec_file() {
+        let spec = ExperimentSpec::parse(
+            "# comment\n\
+             protocols = gsu19, gs18\n\
+             engine = urn-batched\n\
+             compiled = false\n\
+             n = 512..2048\n\
+             trials = 5\n\
+             seed = 9\n\
+             stop = stabilize:30000\n\
+             observables = core\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.protocols,
+            vec![ProtocolKind::Gsu19, ProtocolKind::Gs18]
+        );
+        assert_eq!(spec.engine, EngineKind::UrnBatched);
+        assert_eq!(spec.ns, vec![512, 1024, 2048]);
+        assert_eq!(spec.trials, 5);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(
+            spec.stop,
+            StopCondition::Stabilize {
+                budget_pt: 30_000.0
+            }
+        );
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_keys_and_values_are_errors() {
+        assert!(ExperimentSpec::parse("trails = 5").is_err());
+        assert!(ExperimentSpec::parse("engine = warp").is_err());
+        assert!(ExperimentSpec::parse("protocol = gsu20").is_err());
+        assert!(ExperimentSpec::parse("stop = sometime").is_err());
+        assert!(ExperimentSpec::parse("n = 8..4").is_err());
+    }
+
+    #[test]
+    fn n_grid_forms() {
+        assert_eq!(
+            parse_n_grid("512..8192").unwrap(),
+            vec![512, 1024, 2048, 4096, 8192]
+        );
+        assert_eq!(parse_n_grid("100,200,300").unwrap(), vec![100, 200, 300]);
+        assert_eq!(parse_n_grid("4096").unwrap(), vec![4096]);
+        assert!(parse_n_grid("x..y").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Bkko18],
+            compiled: true,
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("compiled"));
+
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Slow],
+            observables: ObservableSet::Census,
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("census"));
+
+        let spec = ExperimentSpec {
+            sample_at: vec![1.0],
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("horizon"));
+
+        let spec = ExperimentSpec {
+            stop: StopCondition::Horizon { at_pt: 4.0 },
+            sample_at: vec![1.0, 8.0],
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("exceeds"));
+
+        let spec = ExperimentSpec {
+            trials: 0,
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().is_err());
+
+        let spec = ExperimentSpec {
+            ns: vec![1 << 30],
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("agent"));
+    }
+
+    #[test]
+    fn spec_json_is_stable_and_canonical() {
+        let spec = ExperimentSpec::default();
+        let j = spec.to_json();
+        assert_eq!(j.get("engine").unwrap().as_str(), Some("agent"));
+        assert_eq!(j.get("seed").unwrap().as_u64(), Some(42));
+        assert!(
+            j.get("threads").is_none(),
+            "threads must not enter identity"
+        );
+        assert_eq!(j.emit(), spec.to_json().emit());
+    }
+
+    #[test]
+    fn batch_policy_follows_engine() {
+        let mut spec = ExperimentSpec::default();
+        assert!(spec.batch_policy().is_per_step());
+        spec.engine = EngineKind::UrnBatched;
+        spec.batch_shift = 7;
+        assert_eq!(spec.batch_policy().batch_size(1 << 20), 1 << 13);
+    }
+}

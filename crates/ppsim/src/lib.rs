@@ -90,7 +90,7 @@ pub use agent_sim::AgentSim;
 pub use batch::BatchPolicy;
 pub use compiled::{CompiledProtocol, FactoredProtocol};
 pub use fenwick::Fenwick;
-pub use parallel::{run_trials, run_trials_threads};
+pub use parallel::{default_threads, run_trials, run_trials_threads};
 pub use protocol::{EnumerableProtocol, Output, Protocol, Simulator};
 pub use rng::{split_seed, trial_seeds};
 pub use runner::{

@@ -34,8 +34,36 @@ struct Slot<T>(UnsafeCell<Option<T>>);
 
 unsafe impl<T: Send> Sync for Slot<T> {}
 
-/// Run `trials` independent trials of `f` across all available cores and
-/// return the results ordered by trial index.
+/// Default worker-thread count: the `PPSIM_THREADS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism.
+///
+/// The override lets CI and shared machines bound parallelism without
+/// touching call sites; thread count never affects results (see the
+/// determinism contract of [`run_trials_threads`]), only wall time.
+pub fn default_threads() -> usize {
+    match threads_from_env(std::env::var("PPSIM_THREADS").ok().as_deref()) {
+        Some(t) => t,
+        None => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Interpretation of the `PPSIM_THREADS` value, factored out of
+/// [`default_threads`] so the parsing policy is unit-testable without
+/// mutating the process environment (which would race against concurrent
+/// tests reading it): a positive integer is an explicit thread count;
+/// absent, zero or garbage mean "auto". The end-to-end environment path
+/// is exercised by CI's `PPSIM_THREADS=3 ppctl run` invariance check.
+fn threads_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+}
+
+/// Run `trials` independent trials of `f` across [`default_threads`]
+/// workers and return the results ordered by trial index.
 ///
 /// `f` receives `(trial_index, seed)` where the seed is deterministically
 /// derived from `master_seed`.
@@ -44,10 +72,7 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    run_trials_threads(trials, master_seed, threads, f)
+    run_trials_threads(trials, master_seed, default_threads(), f)
 }
 
 /// As [`run_trials`] but with an explicit thread count (1 = sequential,
@@ -128,6 +153,17 @@ mod tests {
         let c = run_trials_threads(37, 99, 16, f);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn ppsim_threads_env_override() {
+        assert_eq!(threads_from_env(Some("3")), Some(3));
+        assert_eq!(threads_from_env(Some("1")), Some(1));
+        assert_eq!(threads_from_env(Some("0")), None, "0 falls back to auto");
+        assert_eq!(threads_from_env(Some("not-a-number")), None);
+        assert_eq!(threads_from_env(Some("-2")), None);
+        assert_eq!(threads_from_env(None), None);
+        assert!(default_threads() >= 1);
     }
 
     #[test]

@@ -46,12 +46,20 @@ impl Series {
         }
     }
 
-    /// Pointwise mean of several equally-sampled series (e.g. averaging a
-    /// trajectory over trials). Series shorter than the longest are treated
-    /// as absent past their end.
+    /// Pointwise mean of several series sampled on a **shared time grid**
+    /// (e.g. averaging a trajectory over trials).
+    ///
+    /// Ragged lengths are allowed — a series shorter than the longest is
+    /// treated as absent past its end, so index `k` averages over the
+    /// series that reach it (the census the figure benches want for trials
+    /// that stabilise early). What is *not* allowed is disagreeing sample
+    /// times at a shared index: averaging values taken at different times
+    /// produces a silently meaningless curve, so that case panics instead
+    /// (policy pinned by `mean_of_rejects_misaligned_time_axes`).
     ///
     /// # Panics
-    /// Panics when `series` is empty.
+    /// Panics when `series` is empty, or when two series disagree on the
+    /// sample time at an index they both cover.
     pub fn mean_of(series: &[Series]) -> Series {
         assert!(!series.is_empty(), "mean_of needs at least one series");
         let max_len = series.iter().map(|s| s.len()).max().unwrap_or(0);
@@ -59,15 +67,26 @@ impl Series {
         for k in 0..max_len {
             let mut sum = 0.0;
             let mut cnt = 0usize;
-            let mut t = 0.0;
+            let mut t = None;
             for s in series {
                 if k < s.len() {
+                    match t {
+                        None => t = Some(s.t[k]),
+                        Some(t) => assert_eq!(
+                            s.t[k], t,
+                            "mean_of: series sample times disagree at index {k} \
+                             ({} vs {t}); resample onto a shared grid first",
+                            s.t[k],
+                        ),
+                    }
                     sum += s.v[k];
-                    t = s.t[k];
                     cnt += 1;
                 }
             }
-            out.push(t, sum / cnt as f64);
+            out.push(
+                t.expect("k < max_len covers at least one series"),
+                sum / cnt as f64,
+            );
         }
         out
     }
@@ -118,6 +137,20 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!((m.v[0] - 2.0).abs() < 1e-12);
         assert!((m.v[1] - 3.0).abs() < 1e-12); // only `a` contributes
+    }
+
+    #[test]
+    #[should_panic(expected = "sample times disagree")]
+    fn mean_of_rejects_misaligned_time_axes() {
+        // Same lengths, different time grids: averaging these pointwise
+        // would silently mix values from different times.
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        a.push(1.0, 3.0);
+        let mut b = Series::new("a");
+        b.push(0.0, 3.0);
+        b.push(2.0, 5.0);
+        let _ = Series::mean_of(&[a, b]);
     }
 
     #[test]

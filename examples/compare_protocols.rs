@@ -4,27 +4,47 @@
 //! ```sh
 //! cargo run --release --example compare_protocols [n] [trials]
 //! ```
+//!
+//! The comparison is a `ppexp` experiment: the protocol registry supplies
+//! state counts and the paper's asymptotics, and the stabilisation times
+//! come from the experiment engine's aggregates — the same pipeline as
+//! `ppctl run --protocol slow,gs18,bkko18,gsu19`.
 
-use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
-use population_protocols::core::Gsu19;
-use population_protocols::ppsim::stats::Summary;
+use population_protocols::ppexp::{run_experiment, ExperimentSpec, ProtocolKind, StopCondition};
 use population_protocols::ppsim::table::{fnum, Table};
-use population_protocols::ppsim::{
-    run_trials, run_until_stable, AgentSim, EnumerableProtocol, Protocol,
-};
 
-fn measure<P, F>(make: F, n: u64, trials: usize, seed: u64) -> Summary
-where
-    P: Protocol,
-    F: Fn(u64) -> P + Sync,
-{
-    let times = run_trials(trials, seed, |_, s| {
-        let mut sim = AgentSim::new(make(n), n as usize, s);
-        let res = run_until_stable(&mut sim, 100_000 * n);
-        assert!(res.converged);
-        res.parallel_time
-    });
-    Summary::of(&times)
+/// Stabilisation-time aggregates for some protocols at one population.
+fn measure(
+    protocols: &[ProtocolKind],
+    n: u64,
+    trials: usize,
+    seed: u64,
+) -> Vec<(ProtocolKind, f64, f64)> {
+    let spec = ExperimentSpec {
+        protocols: protocols.to_vec(),
+        ns: vec![n],
+        trials,
+        seed,
+        stop: StopCondition::Stabilize {
+            budget_pt: 100_000.0,
+        },
+        ..ExperimentSpec::default()
+    };
+    let artifact = run_experiment(&spec).expect("comparison spec is valid");
+    artifact
+        .configs
+        .iter()
+        .map(|config| {
+            assert_eq!(
+                config.failures,
+                0,
+                "{} missed the budget",
+                config.protocol.name()
+            );
+            let agg = config.aggregate("time").expect("converged trials");
+            (config.protocol, agg.mean, agg.median)
+        })
+        .collect()
 }
 
 fn main() {
@@ -41,41 +61,41 @@ fn main() {
         "asymptotics (paper)",
     ]);
 
-    let s = measure(|_| SlowLe, n.min(1 << 9), trials, 1);
-    t.row([
-        format!("slow [AAD+04] (n = {})", n.min(1 << 9)),
-        "2".into(),
-        fnum(s.mean),
-        fnum(s.median),
-        "O(1) states, O(n) expected".into(),
-    ]);
+    // The slow protocol is Θ(n) expected time, so it gets a capped
+    // population of its own; the log-time protocols share one spec.
+    let slow_n = n.min(1 << 9);
+    let rows = measure(&[ProtocolKind::Slow], slow_n, trials, 1)
+        .into_iter()
+        .map(|(p, mean, median)| (p, slow_n, mean, median))
+        .chain(
+            measure(
+                &[
+                    ProtocolKind::Gs18,
+                    ProtocolKind::Bkko18,
+                    ProtocolKind::Gsu19,
+                ],
+                n,
+                trials,
+                2,
+            )
+            .into_iter()
+            .map(|(p, mean, median)| (p, n, mean, median)),
+        );
 
-    let s = measure(Gs18::for_population, n, trials, 2);
-    t.row([
-        "gs18".into(),
-        Gs18::for_population(n).num_states().to_string(),
-        fnum(s.mean),
-        fnum(s.median),
-        "O(log log n) states, O(log² n) whp".into(),
-    ]);
-
-    let s = measure(Bkko18::for_population, n, trials, 3);
-    t.row([
-        "bkko18".into(),
-        Bkko18::for_population(n).num_states().to_string(),
-        fnum(s.mean),
-        fnum(s.median),
-        "O(log n) states, O(log² n) whp".into(),
-    ]);
-
-    let s = measure(Gsu19::for_population, n, trials, 4);
-    t.row([
-        "gsu19 (this paper)".into(),
-        Gsu19::for_population(n).num_states().to_string(),
-        fnum(s.mean),
-        fnum(s.median),
-        "O(log log n) states, O(log n·log log n) expected".into(),
-    ]);
+    for (protocol, n, mean, median) in rows {
+        let label = match protocol {
+            ProtocolKind::Slow => format!("slow [AAD+04] (n = {n})"),
+            ProtocolKind::Gsu19 => "gsu19 (this paper)".to_string(),
+            other => other.name().to_string(),
+        };
+        t.row([
+            label,
+            protocol.num_states(n).to_string(),
+            fnum(mean),
+            fnum(median),
+            protocol.paper_bounds().to_string(),
+        ]);
+    }
 
     t.print();
     println!(

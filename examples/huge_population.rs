@@ -10,18 +10,25 @@
 //! partition rules, the coin race, the first junta levels) and prints the
 //! census trajectory.
 //!
+//! The run is a `ppexp` horizon experiment with census observables
+//! sampled at doubling parallel times — the declarative form of "follow
+//! the opening", identical to
+//! `ppctl run --protocol gsu19 --engine urn-batched --n 1073741824 \
+//!  --trials 1 --at 8 --sample-at 0.5,1,2,4,8 --observables census`.
+//!
 //! ```sh
 //! cargo run --release --example huge_population
 //! ```
 
-use population_protocols::core::{Census, Gsu19};
+use population_protocols::core::Gsu19;
+use population_protocols::ppexp::{
+    run_experiment, EngineKind, ExperimentSpec, ObservableSet, ProtocolKind, StopCondition,
+};
 use population_protocols::ppsim::table::Table;
-use population_protocols::ppsim::{BatchPolicy, Simulator, UrnSim};
 
 fn main() {
     let n: u64 = 1 << 30;
-    let protocol = Gsu19::for_population(n);
-    let params = *protocol.params();
+    let params = *Gsu19::for_population(n).params();
     println!(
         "n = 2^30 = {n} agents, Φ = {}, Ψ = {}, Γ = {}, {} states, urn memory ≈ {} KiB\n",
         params.phi,
@@ -31,9 +38,31 @@ fn main() {
         params.num_states() * 8 / 1024,
     );
 
-    let mut sim = UrnSim::new(protocol, n, 1234);
-    let policy = BatchPolicy::adaptive();
+    let spec = ExperimentSpec {
+        protocols: vec![ProtocolKind::Gsu19],
+        engine: EngineKind::UrnBatched,
+        ns: vec![n],
+        trials: 1,
+        seed: 1234,
+        observables: ObservableSet::Census,
+        stop: StopCondition::Horizon { at_pt: 8.0 },
+        sample_at: vec![0.5, 1.0, 2.0, 4.0, 8.0],
+        ..ExperimentSpec::default()
+    };
+    let artifact = run_experiment(&spec).expect("huge-population spec is valid");
+    let record = &artifact.configs[0].trials[0];
 
+    // Parallel times 0.5, 1, 2, 4, 8: over 8.5 billion interactions. The
+    // sequential urn path would need ~35 minutes for this; batches of n/64
+    // do it in a few hundred batch draws total.
+    let trace = |name: &str| {
+        record
+            .outcome
+            .traces
+            .iter()
+            .find(|s| s.name == name)
+            .expect("census trace recorded")
+    };
     let mut t = Table::new([
         "parallel time",
         "zero",
@@ -42,22 +71,15 @@ fn main() {
         "inhibitors",
         "leaders(alive)",
     ]);
-    // Parallel times 0.5, 1, 2, 4, 8: over 8.5 billion interactions. The
-    // sequential urn path would need ~35 minutes for this; batches of n/64
-    // do it in a few hundred batch draws total.
-    let mut at = 0.0f64;
-    for target in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
-        let chunk = ((target - at) * n as f64) as u64;
-        sim.steps_batched(chunk, &policy);
-        at = target;
-        let c = Census::of(&sim, &params);
+    let zero = trace("zero");
+    for (k, &target) in spec.sample_at.iter().enumerate() {
         t.row([
             format!("{target}"),
-            c.zero.to_string(),
-            c.x.to_string(),
-            c.coins().to_string(),
-            c.inhibitors().to_string(),
-            c.alive().to_string(),
+            format!("{}", zero.v[k] as u64),
+            format!("{}", trace("x").v[k] as u64),
+            format!("{}", trace("coins").v[k] as u64),
+            format!("{}", trace("inhibitors").v[k] as u64),
+            format!("{}", trace("alive").v[k] as u64),
         ]);
     }
     t.print();
@@ -65,9 +87,12 @@ fn main() {
     println!(
         "\n{} interactions simulated; an agent-array for 2^30 agents of\n\
          this protocol would need ≥ 8 GiB, the urn holds {} counters and\n\
-         samples whole batches of {} interactions at a time.",
-        sim.interactions(),
+         samples whole batches of {} interactions at a time.\n\
+         Replay this exact trial: ppctl run --protocol gsu19 --engine urn-batched \
+         --n {n} --trials 1 --seed 1234 --at 8 --sample-at 0.5,1,2,4,8 \
+         --observables census --replay 0:0",
+        record.outcome.metric("interactions").unwrap_or(f64::NAN) as u64,
         params.num_states(),
-        policy.batch_size(n)
+        spec.batch_policy().batch_size(n),
     );
 }

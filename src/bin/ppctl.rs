@@ -5,48 +5,69 @@
 //! ppctl elect --protocol gsu19 --n 4096    one election, narrated result
 //! ppctl sweep --protocol gs18 --n 512..8192 --trials 8
 //!                                          convergence-time table across n
+//! ppctl run --spec study.ppexp --out artifact.json
+//!                                          declarative experiment (ppexp)
+//! ppctl validate artifact.json             schema-check an artifact
 //! ppctl census --n 4096 --at 200           census snapshot at a parallel time
 //! ```
 //!
-//! `elect`, `sweep` and `census` accept `--engine agent|urn|urn-batched`
-//! (default `agent`): `urn` is the exact count-based simulator, and
-//! `urn-batched` samples whole interaction batches at once (see
-//! `ppsim::batch`) — the only engine that makes populations of 2^30 and
-//! beyond interactive. The additional `--compiled` flag (gsu19 and gs18)
-//! runs the chosen engine on the protocol's compiled transition tables
-//! (`ppsim::compiled`), the fast path for agent-array simulations.
+//! `elect`, `sweep` and `run` execute through the `ppexp` experiment
+//! engine — `sweep` is a preset that expands to a spec, and `run` takes
+//! the spec directly (a `key = value` file via `--spec`, with every key
+//! also available as a flag override). Engines: `agent` (exact agent
+//! array), `urn` (count-based), `urn-batched` (batched multinomial
+//! sampling, the only engine interactive at n ≥ 2^30). `--compiled` runs
+//! the chosen engine on compiled transition tables (gsu19 and gs18).
 //!
-//! Hand-rolled argument parsing (the repository keeps its dependency set
-//! to the simulation essentials).
+//! Argument parsing is hand-rolled (the repository keeps its dependency
+//! set to the simulation essentials) but strict: unknown commands and
+//! flags exit nonzero with a hint, so a typo like `--trails` can never
+//! silently run the wrong experiment.
 
-use population_protocols::baselines::{Bkko18, Gs18, SlowLe};
 use population_protocols::core::{Census, Gsu19};
-use population_protocols::ppsim::stats::Summary;
-use population_protocols::ppsim::table::{fnum, Table};
-use population_protocols::ppsim::CompiledProtocol;
-use population_protocols::ppsim::{
-    run_trials, run_until_stable, run_until_stable_with, AgentSim, BatchPolicy, EnumerableProtocol,
-    Simulator, UrnSim,
+use population_protocols::ppexp::{
+    replay_trial, run_experiment, Artifact, ConfigResult, ExperimentSpec,
 };
+use population_protocols::ppsim::table::{fnum, Table};
+use population_protocols::ppsim::{AgentSim, BatchPolicy, Simulator, UrnSim};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("params") => cmd_params(&args[1..]),
-        Some("elect") => cmd_elect(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
-        Some("census") => cmd_census(&args[1..]),
+        Some("params") => report(cmd_params(&args[1..])),
+        Some("elect") => report(cmd_elect(&args[1..])),
+        Some("sweep") => report(cmd_sweep(&args[1..])),
+        Some("run") => report(cmd_run(&args[1..])),
+        Some("validate") => report(cmd_validate(&args[1..])),
+        Some("census") => report(cmd_census(&args[1..])),
         Some("help") | None => {
             print_help();
             0
         }
         Some(other) => {
-            eprintln!("unknown command: {other}\n");
-            print_help();
+            let commands = [
+                "params", "elect", "sweep", "run", "validate", "census", "help",
+            ];
+            match suggest(other, &commands) {
+                Some(hint) => eprintln!("unknown command: {other} (did you mean '{hint}'?)"),
+                None => eprintln!("unknown command: {other}"),
+            }
+            eprintln!("run 'ppctl help' for usage");
             2
         }
     };
     std::process::exit(code);
+}
+
+/// Map a command result onto an exit code, printing the error.
+fn report(result: Result<i32, String>) -> i32 {
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            2
+        }
+    }
 }
 
 fn print_help() {
@@ -55,54 +76,189 @@ fn print_help() {
          commands:\n\
          \x20 params --n N                         show derived parameters\n\
          \x20 elect  --protocol P --n N [--seed S] [--engine E] [--compiled]\n\
-         \x20                                      run one election\n\
-         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S] [--engine E] [--compiled]\n\
+         \x20        [--budget PT]                 run one election\n\
+         \x20 sweep  --protocol P --n A..B [--trials T] [--seed S] [--engine E]\n\
+         \x20        [--compiled] [--threads K] [--budget PT] [--out F] [--csv F]\n\
          \x20                                      convergence table across n (doubling)\n\
+         \x20 run    [--spec FILE] [overrides...] [--out F|-] [--csv F]\n\
+         \x20        [--replay CONFIG:TRIAL]       declarative experiment (ppexp)\n\
+         \x20 validate FILE                        schema-check an artifact\n\
          \x20 census --n N [--at T] [--seed S] [--engine E] [--compiled]\n\
          \x20                                      census snapshot at parallel time T\n\n\
+         run overrides (same keys as the spec file): --protocol P[,P...]\n\
+         \x20 --engine E --compiled --n GRID --trials T --seed S --threads K\n\
+         \x20 --budget PT | --at PT --sample-at T1,T2,... --observables core|census\n\
+         \x20 --batch-shift B\n\n\
          protocols: gsu19 (default) | gs18 | bkko18 | slow\n\
          engines:   agent (default) | urn | urn-batched\n\
+         threads:   --threads K or the PPSIM_THREADS environment variable\n\
          --compiled runs the engine on compiled transition tables\n\
          \x20          (ppsim::compiled; gsu19 and gs18 only)"
     );
 }
 
-/// Extract `--key value` from an argument list.
-fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+// ---------------------------------------------------------------------------
+// Strict flag parsing
+// ---------------------------------------------------------------------------
+
+/// Parsed `--flag value` / `--switch` arguments, validated against the
+/// command's accepted sets.
+#[derive(Debug)]
+struct Flags {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
 }
 
-fn parse_n(args: &[String]) -> u64 {
-    opt(args, "--n")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1 << 12)
-}
+impl Flags {
+    /// Parse `args` strictly: every token must be a registered flag. An
+    /// unknown flag is an error carrying a nearest-match hint — parity
+    /// with the `crossover` probe, where a silently dropped argument can
+    /// cost hours of probing the wrong configuration.
+    fn parse(
+        args: &[String],
+        value_flags: &'static [&'static str],
+        switch_flags: &'static [&'static str],
+    ) -> Result<Self, String> {
+        let mut flags = Flags {
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if let Some(&switch) = switch_flags.iter().find(|&&s| s == arg) {
+                flags.switches.push(switch);
+                i += 1;
+            } else if let Some(&key) = value_flags.iter().find(|&&k| k == arg) {
+                if flags.get(key).is_some() {
+                    // A repeated flag has no single sensible precedence
+                    // (spec overrides apply in order, file writes use the
+                    // first hit), so refuse rather than guess.
+                    return Err(format!("flag {key} given more than once"));
+                }
+                let value = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("flag {key} needs a value"))?;
+                flags.values.push((key, value.clone()));
+                i += 2;
+            } else {
+                let known: Vec<&str> = value_flags.iter().chain(switch_flags).copied().collect();
+                return Err(match suggest(arg, &known) {
+                    Some(hint) => {
+                        format!("unknown flag: {arg} (did you mean '{hint}'?)")
+                    }
+                    None => format!("unknown flag: {arg} (accepted: {})", known.join(" ")),
+                });
+            }
+        }
+        Ok(flags)
+    }
 
-fn parse_seed(args: &[String]) -> u64 {
-    opt(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
-}
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
 
-fn parse_range(args: &[String]) -> (u64, u64) {
-    let spec = opt(args, "--n").unwrap_or("512..8192");
-    match spec.split_once("..") {
-        Some((a, b)) => (
-            a.parse().unwrap_or(512),
-            b.parse().unwrap_or_else(|_| a.parse().unwrap_or(512) * 16),
-        ),
-        None => {
-            let n = spec.parse().unwrap_or(4096);
-            (n, n)
+    fn has(&self, key: &str) -> bool {
+        self.switches.contains(&key)
+    }
+
+    fn parse_value<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid {key} '{v}'")),
         }
     }
 }
 
-fn cmd_params(args: &[String]) -> i32 {
-    let n = parse_n(args);
+/// Nearest candidate within edit distance 2 (case-sensitive Levenshtein),
+/// for "did you mean" hints.
+fn suggest<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|&c| (levenshtein(input, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+// ---------------------------------------------------------------------------
+// Spec assembly shared by elect / sweep / run
+// ---------------------------------------------------------------------------
+
+/// Spec keys every engine-backed command accepts as flags; `--flag value`
+/// maps onto `ExperimentSpec::apply(key, value)` one-to-one.
+const SPEC_FLAGS: &[(&str, &str)] = &[
+    ("--protocol", "protocol"),
+    ("--engine", "engine"),
+    ("--n", "n"),
+    ("--trials", "trials"),
+    ("--seed", "seed"),
+    ("--threads", "threads"),
+    ("--budget", "budget"),
+    ("--at", "at"),
+    ("--sample-at", "sample_at"),
+    ("--observables", "observables"),
+    ("--batch-shift", "batch_shift"),
+];
+
+/// Apply every present spec flag to `spec`, in flag order.
+fn apply_spec_flags(spec: &mut ExperimentSpec, flags: &Flags) -> Result<(), String> {
+    for (key, value) in &flags.values {
+        if let Some((_, spec_key)) = SPEC_FLAGS.iter().find(|(flag, _)| flag == key) {
+            spec.apply(spec_key, value)?;
+        }
+    }
+    if flags.has("--compiled") {
+        spec.apply("compiled", "true")?;
+    }
+    Ok(())
+}
+
+/// Write the artifact as requested by `--out` / `--csv` (`--out -` prints
+/// the JSON to stdout).
+fn emit_artifact(artifact: &Artifact, flags: &Flags) -> Result<(), String> {
+    if let Some(path) = flags.get("--out") {
+        let text = artifact.to_json_string();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote artifact to {path}");
+        }
+    }
+    if let Some(path) = flags.get("--csv") {
+        std::fs::write(path, artifact.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote CSV to {path}");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_params(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(args, &["--n"], &[])?;
+    let n: u64 = flags.parse_value("--n", 1 << 12)?;
     let proto = Gsu19::for_population(n);
     let p = proto.params();
     println!("population n       = {n}");
@@ -120,212 +276,245 @@ fn cmd_params(args: &[String]) -> i32 {
         coins.push_str(&format!("  level {l}: bias {:.3e}", p.coin_bias(l)));
     }
     println!("coin biases        ={coins}");
-    0
+    Ok(0)
 }
 
-/// Requested execution engine; see [`parse_engine`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Engine {
-    Agent,
-    Urn,
-    UrnBatched,
-}
-
-fn parse_engine(args: &[String]) -> Option<Engine> {
-    match opt(args, "--engine").unwrap_or("agent") {
-        "agent" => Some(Engine::Agent),
-        "urn" => Some(Engine::Urn),
-        "urn-batched" => Some(Engine::UrnBatched),
-        other => {
-            eprintln!("unknown engine: {other} (expected agent | urn | urn-batched)");
-            None
-        }
+fn cmd_elect(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--protocol",
+            "--engine",
+            "--n",
+            "--seed",
+            "--budget",
+            "--threads",
+        ],
+        &["--compiled"],
+    )?;
+    let mut spec = ExperimentSpec::default();
+    apply_spec_flags(&mut spec, &flags)?;
+    spec.trials = 1;
+    if spec.protocols.len() != 1 || spec.ns.len() != 1 {
+        return Err(
+            "elect runs a single election; for a protocol list or an n-grid use \
+             'ppctl sweep' or 'ppctl run'"
+                .into(),
+        );
     }
-}
-
-/// Presence of the `--compiled` flag (compiled transition tables).
-fn parse_compiled(args: &[String]) -> bool {
-    args.iter().any(|a| a == "--compiled")
-}
-
-/// Protocols that support `--compiled`, pre-compiled once so that sweeps
-/// and trial loops clone the tables instead of rebuilding them.
-enum CompiledProto {
-    Gsu19(CompiledProtocol<Gsu19>),
-    Gs18(CompiledProtocol<Gs18>),
-}
-
-fn compile_protocol(protocol: &str, n: u64) -> Option<CompiledProto> {
-    match protocol {
-        "gsu19" => Some(CompiledProto::Gsu19(Gsu19::for_population(n).compiled())),
-        "gs18" => Some(CompiledProto::Gs18(Gs18::for_population(n).compiled())),
-        other => {
-            eprintln!("--compiled supports gsu19 | gs18 (got {other})");
-            None
-        }
-    }
-}
-
-impl CompiledProto {
-    fn run(&self, n: u64, seed: u64, engine: Engine) -> (bool, f64, u64) {
-        match self {
-            CompiledProto::Gsu19(p) => run_election(p.clone(), n, seed, engine),
-            CompiledProto::Gs18(p) => run_election(p.clone(), n, seed, engine),
-        }
-    }
-}
-
-fn run_election<P: EnumerableProtocol>(
-    proto: P,
-    n: u64,
-    seed: u64,
-    engine: Engine,
-) -> (bool, f64, u64) {
-    let budget = 200_000 * n;
-    match engine {
-        Engine::Agent => {
-            let mut sim = AgentSim::new(proto, n as usize, seed);
-            let res = run_until_stable(&mut sim, budget);
-            (res.converged, res.parallel_time, sim.leaders())
-        }
-        Engine::Urn => {
-            let mut sim = UrnSim::new(proto, n, seed);
-            let res = run_until_stable(&mut sim, budget);
-            (res.converged, res.parallel_time, sim.leaders())
-        }
-        Engine::UrnBatched => {
-            let mut sim = UrnSim::new(proto, n, seed);
-            let res = run_until_stable_with(&mut sim, &BatchPolicy::adaptive(), budget);
-            (res.converged, res.parallel_time, sim.leaders())
-        }
-    }
-}
-
-fn cmd_elect(args: &[String]) -> i32 {
-    let n = parse_n(args);
-    let seed = parse_seed(args);
-    let protocol = opt(args, "--protocol").unwrap_or("gsu19");
-    let Some(engine) = parse_engine(args) else {
-        return 2;
-    };
-    let (ok, t, leaders) = if parse_compiled(args) {
-        let Some(proto) = compile_protocol(protocol, n) else {
-            return 2;
-        };
-        proto.run(n, seed, engine)
-    } else {
-        match protocol {
-            "gsu19" => run_election(Gsu19::for_population(n), n, seed, engine),
-            "gs18" => run_election(Gs18::for_population(n), n, seed, engine),
-            "bkko18" => run_election(Bkko18::for_population(n), n, seed, engine),
-            "slow" => run_election(SlowLe, n, seed, engine),
-            other => {
-                eprintln!("unknown protocol: {other}");
-                return 2;
-            }
-        }
-    };
-    if !ok {
+    let artifact = run_experiment(&spec)?;
+    let config = &artifact.configs[0];
+    let record = &config.trials[0];
+    if !record.outcome.converged {
         eprintln!("did not stabilise within the budget");
-        return 1;
+        return Ok(1);
     }
+    let leaders = record.outcome.metric("leaders").unwrap_or(0.0) as u64;
     println!(
-        "{protocol}: unique leader among {n} agents after {t:.1} parallel time \
-         ({leaders} leader state{})",
-        if leaders == 1 { "" } else { "s" }
+        "{}: unique leader among {} agents after {:.1} parallel time \
+         ({leaders} leader state{}) [trial seed {}]",
+        config.protocol.name(),
+        config.n,
+        record.outcome.metric("time").unwrap_or(f64::NAN),
+        if leaders == 1 { "" } else { "s" },
+        record.seed,
     );
-    0
+    Ok(0)
 }
 
-fn cmd_sweep(args: &[String]) -> i32 {
-    let (lo, hi) = parse_range(args);
-    let trials: usize = opt(args, "--trials")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    let seed = parse_seed(args);
-    let protocol = opt(args, "--protocol").unwrap_or("gsu19");
-    let Some(engine) = parse_engine(args) else {
-        return 2;
+/// Normalised convergence-time columns shared by `sweep` and the
+/// crossover preset.
+fn sweep_row(config: &ConfigResult, trials: usize) -> [String; 7] {
+    let agg = config.aggregate("time");
+    let (mean, ci95, median) = match agg {
+        Some(a) => (a.mean, a.ci95, a.median),
+        None => (f64::NAN, f64::NAN, f64::NAN),
     };
-    let compiled = parse_compiled(args);
+    let l = (config.n as f64).log2();
+    [
+        config.n.to_string(),
+        trials.to_string(),
+        fnum(mean),
+        fnum(ci95),
+        fnum(median),
+        format!("{:.2}", mean / (l * l.log2().max(1.0))),
+        format!("{:.2}", mean / (l * l)),
+    ]
+}
 
-    let mut t = Table::new([
-        "n",
-        "trials",
-        "mean t",
-        "ci95",
-        "median",
-        "t/(lg*lglg)",
-        "t/lg^2",
-    ]);
-    let mut n = lo.max(64);
-    while n <= hi {
-        // Compile once per population; trials clone the shared tables.
-        let pre = if compiled {
-            match compile_protocol(protocol, n) {
-                Some(p) => Some(p),
-                None => return 2,
-            }
-        } else {
-            None
-        };
-        let times: Vec<f64> = run_trials(trials, seed, |_, s| {
-            let (_, t, _) = match &pre {
-                Some(p) => p.run(n, s, engine),
-                None => match protocol {
-                    "gsu19" => run_election(Gsu19::for_population(n), n, s, engine),
-                    "gs18" => run_election(Gs18::for_population(n), n, s, engine),
-                    "bkko18" => run_election(Bkko18::for_population(n), n, s, engine),
-                    _ => run_election(SlowLe, n, s, engine),
-                },
-            };
-            t
-        });
-        let s = Summary::of(&times);
-        let l = (n as f64).log2();
-        t.row([
-            n.to_string(),
-            trials.to_string(),
-            fnum(s.mean),
-            fnum(s.ci95),
-            fnum(s.median),
-            format!("{:.2}", s.mean / (l * l.log2().max(1.0))),
-            format!("{:.2}", s.mean / (l * l)),
-        ]);
-        n *= 2;
+fn cmd_sweep(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--protocol",
+            "--engine",
+            "--n",
+            "--trials",
+            "--seed",
+            "--threads",
+            "--budget",
+            "--out",
+            "--csv",
+        ],
+        &["--compiled"],
+    )?;
+    // The sweep preset: a single-protocol stabilisation study over a
+    // doubling n-grid (multi-protocol grids go through `ppctl run`, whose
+    // table carries a protocol column).
+    let mut spec = ExperimentSpec::default();
+    spec.apply("n", "512..8192")?;
+    apply_spec_flags(&mut spec, &flags)?;
+    if spec.protocols.len() != 1 {
+        return Err("sweep is a single-protocol preset; use 'ppctl run' for a list".into());
     }
-    println!("protocol: {protocol}");
-    t.print();
-    0
+    let artifact = run_experiment(&spec)?;
+
+    // `--out -` means "the artifact owns stdout": skip the human table,
+    // exactly as in cmd_run.
+    if flags.get("--out") != Some("-") {
+        println!("protocol: {}", spec.protocols[0].name());
+        let mut t = Table::new([
+            "n",
+            "trials",
+            "mean t",
+            "ci95",
+            "median",
+            "t/(lg*lglg)",
+            "t/lg^2",
+        ]);
+        for config in &artifact.configs {
+            if config.failures > 0 {
+                eprintln!(
+                    "note: n={}: {} of {} trials missed the budget",
+                    config.n, config.failures, spec.trials
+                );
+            }
+            t.row(sweep_row(config, spec.trials));
+        }
+        t.print();
+    }
+    emit_artifact(&artifact, &flags)?;
+    Ok(0)
 }
 
-fn cmd_census(args: &[String]) -> i32 {
-    let n = parse_n(args);
-    let seed = parse_seed(args);
-    let at: f64 = opt(args, "--at")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100.0);
-    let Some(engine) = parse_engine(args) else {
-        return 2;
+fn cmd_run(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--spec",
+            "--protocol",
+            "--engine",
+            "--n",
+            "--trials",
+            "--seed",
+            "--threads",
+            "--budget",
+            "--at",
+            "--sample-at",
+            "--observables",
+            "--batch-shift",
+            "--out",
+            "--csv",
+            "--replay",
+        ],
+        &["--compiled"],
+    )?;
+    let mut spec = match flags.get("--spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            ExperimentSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => ExperimentSpec::default(),
     };
+    apply_spec_flags(&mut spec, &flags)?;
+
+    if let Some(address) = flags.get("--replay") {
+        let (config, trial) = address
+            .split_once(':')
+            .and_then(|(c, t)| Some((c.parse().ok()?, t.parse().ok()?)))
+            .ok_or_else(|| format!("--replay takes CONFIG:TRIAL (got '{address}')"))?;
+        let record = replay_trial(&spec, config, trial)?;
+        // The record in the exact shape it has inside an artifact's
+        // `trials` array, so it can be diffed against the recorded one.
+        println!("{}", record.to_json().emit());
+        return Ok(0);
+    }
+
+    let artifact = run_experiment(&spec)?;
+    if flags.get("--out") != Some("-") {
+        let mut t = Table::new([
+            "protocol", "n", "trials", "failures", "mean t", "ci95", "median",
+        ]);
+        for config in &artifact.configs {
+            let agg = config.aggregate("time");
+            t.row([
+                config.protocol.name().to_string(),
+                config.n.to_string(),
+                spec.trials.to_string(),
+                config.failures.to_string(),
+                fnum(agg.map_or(f64::NAN, |a| a.mean)),
+                fnum(agg.map_or(f64::NAN, |a| a.ci95)),
+                fnum(agg.map_or(f64::NAN, |a| a.median)),
+            ]);
+        }
+        t.print();
+    }
+    emit_artifact(&artifact, &flags)?;
+    Ok(0)
+}
+
+fn cmd_validate(args: &[String]) -> Result<i32, String> {
+    let [path] = args else {
+        return Err("usage: ppctl validate ARTIFACT.json".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = population_protocols::ppexp::json::parse(&text)
+        .map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match Artifact::validate_json(&doc) {
+        Ok(()) => {
+            println!(
+                "{path}: valid {} artifact",
+                population_protocols::ppexp::SCHEMA
+            );
+            Ok(0)
+        }
+        Err(e) => {
+            eprintln!("{path}: schema violation: {e}");
+            Ok(1)
+        }
+    }
+}
+
+fn cmd_census(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(
+        args,
+        &["--n", "--at", "--seed", "--engine"],
+        &["--compiled"],
+    )?;
+    let n: u64 = flags.parse_value("--n", 1 << 12)?;
+    let seed: u64 = flags.parse_value("--seed", 42)?;
+    let at: f64 = flags.parse_value("--at", 100.0)?;
+    let engine =
+        population_protocols::ppexp::EngineKind::parse(flags.get("--engine").unwrap_or("agent"))?;
+    use population_protocols::ppexp::EngineKind;
     let proto = Gsu19::for_population(n);
     let params = *proto.params();
     let interactions = (at * n as f64) as u64;
-    let c = if parse_compiled(args) {
+    let c = if flags.has("--compiled") {
         let cp = proto.compiled();
         let decode = |s| cp.decode_state(s);
         match engine {
-            Engine::Agent => {
+            EngineKind::Agent => {
                 let mut sim = AgentSim::new(cp.clone(), n as usize, seed);
                 sim.steps(interactions);
                 Census::of_with(&sim, &params, decode)
             }
-            Engine::Urn => {
+            EngineKind::Urn => {
                 let mut sim = UrnSim::new(cp.clone(), n, seed);
                 sim.steps(interactions);
                 Census::of_with(&sim, &params, decode)
             }
-            Engine::UrnBatched => {
+            EngineKind::UrnBatched => {
                 let mut sim = UrnSim::new(cp.clone(), n, seed);
                 sim.steps_batched(interactions, &BatchPolicy::adaptive());
                 Census::of_with(&sim, &params, decode)
@@ -333,17 +522,17 @@ fn cmd_census(args: &[String]) -> i32 {
         }
     } else {
         match engine {
-            Engine::Agent => {
+            EngineKind::Agent => {
                 let mut sim = AgentSim::new(proto, n as usize, seed);
                 sim.steps(interactions);
                 Census::of(&sim, &params)
             }
-            Engine::Urn => {
+            EngineKind::Urn => {
                 let mut sim = UrnSim::new(proto, n, seed);
                 sim.steps(interactions);
                 Census::of(&sim, &params)
             }
-            Engine::UrnBatched => {
+            EngineKind::UrnBatched => {
                 let mut sim = UrnSim::new(proto, n, seed);
                 sim.steps_batched(interactions, &BatchPolicy::adaptive());
                 Census::of(&sim, &params)
@@ -363,59 +552,105 @@ fn cmd_census(args: &[String]) -> i32 {
         "  max alive drag         : {:?}, leaders counter: {:?}",
         c.max_alive_drag, c.max_cnt
     );
-    0
+    Ok(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use population_protocols::ppexp::ProtocolKind;
 
     fn args(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
     }
 
     #[test]
-    fn opt_parses_key_value() {
-        let a = args(&["--n", "128", "--seed", "7"]);
-        assert_eq!(opt(&a, "--n"), Some("128"));
-        assert_eq!(opt(&a, "--seed"), Some("7"));
-        assert_eq!(opt(&a, "--missing"), None);
+    fn strict_parser_accepts_registered_flags() {
+        let f = Flags::parse(
+            &args(&["--n", "128", "--seed", "7", "--compiled"]),
+            &["--n", "--seed"],
+            &["--compiled"],
+        )
+        .unwrap();
+        assert_eq!(f.get("--n"), Some("128"));
+        assert_eq!(f.get("--seed"), Some("7"));
+        assert!(f.has("--compiled"));
+        assert_eq!(f.get("--missing"), None);
     }
 
     #[test]
-    fn parse_range_forms() {
-        assert_eq!(parse_range(&args(&["--n", "256..1024"])), (256, 1024));
-        assert_eq!(parse_range(&args(&["--n", "512"])), (512, 512));
+    fn unknown_flag_is_rejected_with_a_hint() {
+        let err = Flags::parse(&args(&["--trails", "8"]), &["--trials", "--n"], &[]).unwrap_err();
+        assert!(err.contains("--trails"), "{err}");
+        assert!(err.contains("--trials"), "{err}");
     }
 
     #[test]
-    fn defaults() {
-        assert_eq!(parse_n(&[]), 1 << 12);
-        assert_eq!(parse_seed(&[]), 42);
+    fn missing_value_is_rejected() {
+        let err = Flags::parse(&args(&["--n"]), &["--n"], &[]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err =
+            Flags::parse(&args(&["--n", "--compiled"]), &["--n"], &["--compiled"]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
     }
 
     #[test]
-    fn engine_parsing() {
-        assert_eq!(parse_engine(&args(&[])), Some(Engine::Agent));
-        assert_eq!(parse_engine(&args(&["--engine", "urn"])), Some(Engine::Urn));
-        assert_eq!(
-            parse_engine(&args(&["--engine", "urn-batched"])),
-            Some(Engine::UrnBatched)
-        );
-        assert_eq!(parse_engine(&args(&["--engine", "bogus"])), None);
+    fn positional_garbage_is_rejected() {
+        assert!(Flags::parse(&args(&["elect"]), &["--n"], &[]).is_err());
     }
 
     #[test]
-    fn compiled_flag_parsing() {
-        assert!(!parse_compiled(&args(&["--engine", "agent"])));
-        assert!(parse_compiled(&args(&["--engine", "urn", "--compiled"])));
+    fn repeated_value_flags_are_rejected() {
+        let err = Flags::parse(&args(&["--n", "64", "--n", "128"]), &["--n"], &[]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
     }
 
     #[test]
-    fn compiled_protocol_support() {
-        assert!(compile_protocol("gsu19", 1 << 8).is_some());
-        assert!(compile_protocol("gs18", 1 << 8).is_some());
-        assert!(compile_protocol("bkko18", 1 << 8).is_none());
-        assert!(compile_protocol("slow", 1 << 8).is_none());
+    fn suggestions_use_edit_distance() {
+        assert_eq!(suggest("--trails", &["--trials", "--n"]), Some("--trials"));
+        assert_eq!(suggest("swep", &["sweep", "elect"]), Some("sweep"));
+        assert_eq!(suggest("--zzz", &["--trials"]), None);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("trails", "trials"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn spec_flags_apply_in_order() {
+        let flags = Flags::parse(
+            &args(&[
+                "--protocol",
+                "gs18",
+                "--n",
+                "256..512",
+                "--trials",
+                "4",
+                "--engine",
+                "urn-batched",
+                "--compiled",
+            ]),
+            &["--protocol", "--n", "--trials", "--engine"],
+            &["--compiled"],
+        )
+        .unwrap();
+        let mut spec = ExperimentSpec::default();
+        apply_spec_flags(&mut spec, &flags).unwrap();
+        assert_eq!(spec.protocols, vec![ProtocolKind::Gs18]);
+        assert_eq!(spec.ns, vec![256, 512]);
+        assert_eq!(spec.trials, 4);
+        assert!(spec.compiled);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_spec_values_surface_as_errors() {
+        let flags = Flags::parse(&args(&["--engine", "warp"]), &["--engine"], &[]).unwrap();
+        let mut spec = ExperimentSpec::default();
+        assert!(apply_spec_flags(&mut spec, &flags).is_err());
     }
 }

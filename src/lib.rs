@@ -9,11 +9,14 @@
 //! * [`components`] — reusable protocol building blocks (junta election,
 //!   junta-driven phase clock, one-way epidemic, synthetic coins);
 //! * [`core`] — the paper's three-epoch leader-election protocol;
-//! * [`baselines`] — the competing protocols of the paper's Table 1.
+//! * [`baselines`] — the competing protocols of the paper's Table 1;
+//! * [`ppexp`] — the declarative experiment engine (specs, sharded trial
+//!   plans, online aggregation, versioned JSON/CSV artifacts, replay).
 //!
 //! See `examples/quickstart.rs` for a five-line end-to-end run.
 
 pub use baselines;
 pub use components;
 pub use core_protocol as core;
+pub use ppexp;
 pub use ppsim;
