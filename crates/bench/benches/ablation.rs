@@ -1,23 +1,24 @@
 //! Experiment ABL — ablations of the design elements Section 7 argues are
-//! load-bearing:
+//! load-bearing, each variant a registered protocol kind
+//! (`gsu19-no-drag`, `gsu19-direct`, `gsu19-no-backup`) so every panel is
+//! a plain `ppexp` preset:
 //!
-//! 1. **Drag machinery** (`gsu_no_drag`): without rules (8)–(10), passive
-//!    candidates are only withdrawn by direct duels, so stabilisation
-//!    acquires a heavy tail (the paper: the drag counter is what makes the
-//!    `O(log n log log n)` *expected* bound possible).
-//! 2. **Passive mode** (`gsu_direct_withdrawal`): eliminating straight to
-//!    `W` is as fast whp but forfeits the Las Vegas guarantee — we count
+//! 1. **Drag machinery** (`gsu19-no-drag`): without rules (8)–(10),
+//!    passive candidates are only withdrawn by direct duels, so
+//!    stabilisation acquires a heavy tail (the paper: the drag counter is
+//!    what makes the `O(log n log log n)` *expected* bound possible).
+//! 2. **Passive mode** (`gsu19-direct`): eliminating straight to `W` is
+//!    as fast whp but forfeits the Las Vegas guarantee — we count
 //!    extinction events (configurations with zero alive candidates, which
-//!    can never elect a leader).
-//! 3. **Slow backup** (`gsu_no_backup`): rule (11) off; still converges,
-//!    shows how much of the early thinning the duels contribute.
+//!    can never elect a leader) with the `settled` stop condition.
+//! 3. **Slow backup** (`gsu19-no-backup`): rule (11) off; still
+//!    converges, shows how much of the early thinning the duels
+//!    contribute.
 
-use baselines::{gsu_direct_withdrawal, gsu_no_backup, gsu_no_drag};
-use bench::{measure_convergence, scale, Scale};
-use core_protocol::{Census, Gsu19};
+use bench::{one_config, scale, times_of, Scale};
+use ppexp::{run_experiment, InitConfig, Observables, ProtocolKind, StopCondition};
 use ppsim::stats::Summary;
 use ppsim::table::{fnum, Table};
-use ppsim::{run_trials, AgentSim, Simulator};
 
 fn main() {
     let sc = scale();
@@ -49,31 +50,24 @@ fn passive_cleanup_latency(sc: Scale) {
             Scale::Default => 24,
             Scale::Large => 32,
         };
-        let k = (4.0 * (n as f64).log2()).round() as u64;
-        for (name, drag) in [("with drag", true), ("no drag", false)] {
-            let budget_parallel = 200_000.0;
-            let results: Vec<(bool, f64)> = run_trials(trials, 87, |_, seed| {
-                let proto = if drag {
-                    Gsu19::for_population(n)
-                } else {
-                    gsu_no_drag(n)
-                };
-                let params = *proto.params();
-                let states =
-                    core_protocol::synthetic::final_epoch_config(&params, n, k, seed ^ 0x5150);
-                let mut sim = AgentSim::with_states(proto, states, seed);
-                let budget = (budget_parallel * n as f64) as u64;
-                let res = ppsim::run_until_stable(&mut sim, budget);
-                (res.converged, res.parallel_time)
-            });
-            let times: Vec<f64> = results.iter().filter(|r| r.0).map(|r| r.1).collect();
-            let failures = results.len() - times.len();
+        for (name, protocol) in [
+            ("with drag", ProtocolKind::Gsu19),
+            ("no drag", ProtocolKind::Gsu19NoDrag),
+        ] {
+            let mut spec = one_config(protocol, n, trials, 87, 200_000.0);
+            spec.init = InitConfig::FinalEpoch {
+                k: 4,
+                times_log2: true,
+            };
+            let artifact = run_experiment(&spec).expect("cleanup preset is valid");
+            let config = &artifact.configs[0];
+            let times = times_of(config);
             let s = Summary::of(&times);
             t.row([
                 name.to_string(),
                 n.to_string(),
-                results.len().to_string(),
-                failures.to_string(),
+                config.trials.len().to_string(),
+                config.failures.to_string(),
                 fnum(s.mean),
                 fnum(s.median),
                 fnum(ppsim::quantile(&times, 0.9)),
@@ -107,26 +101,24 @@ fn stabilisation_comparison(sc: Scale) {
     let mut t = Table::new([
         "variant", "trials", "fail", "mean t", "median", "p90", "max",
     ]);
-    for (name, which) in [
-        ("gsu19 (full)", 0u8),
-        ("no drag", 1),
-        ("direct withdrawal", 2),
-        ("no backup", 3),
+    for (name, protocol, seed) in [
+        ("gsu19 (full)", ProtocolKind::Gsu19, 81u64),
+        ("no drag", ProtocolKind::Gsu19NoDrag, 82),
+        ("direct withdrawal", ProtocolKind::Gsu19Direct, 83),
+        ("no backup", ProtocolKind::Gsu19NoBackup, 84),
     ] {
-        let stats = match which {
-            0 => measure_convergence(Gsu19::for_population, n, trials, budget, 81),
-            1 => measure_convergence(gsu_no_drag, n, trials, budget, 82),
-            2 => measure_convergence(gsu_direct_withdrawal, n, trials, budget, 83),
-            _ => measure_convergence(gsu_no_backup, n, trials, budget, 84),
-        };
-        let s = Summary::of(&stats.times);
+        let spec = one_config(protocol, n, trials, seed, budget);
+        let artifact = run_experiment(&spec).expect("ablation preset is valid");
+        let config = &artifact.configs[0];
+        let times = times_of(config);
+        let s = Summary::of(&times);
         t.row([
             name.to_string(),
-            (stats.times.len() + stats.failures).to_string(),
-            stats.failures.to_string(),
+            config.trials.len().to_string(),
+            config.failures.to_string(),
             fnum(s.mean),
             fnum(s.median),
-            fnum(ppsim::quantile(&stats.times, 0.9)),
+            fnum(ppsim::quantile(&times, 0.9)),
             fnum(s.max),
         ]);
     }
@@ -148,36 +140,34 @@ fn extinction_rate(sc: Scale) {
         Scale::Default => 200,
         Scale::Large => 600,
     };
-    let budget_parallel = 40_000.0;
 
     let mut t = Table::new(["variant", "trials", "extinct", "elected", "undecided@end"]);
-    for (name, which) in [("gsu19 (full)", 0u8), ("direct withdrawal", 1)] {
-        let outcomes: Vec<(bool, bool)> = run_trials(trials, 91, |_, seed| {
-            let proto = match which {
-                0 => Gsu19::for_population(n),
-                _ => gsu_direct_withdrawal(n),
-            };
-            let params = *proto.params();
-            let mut sim = AgentSim::new(proto, n as usize, seed);
-            let budget = (budget_parallel * n as f64) as u64;
-            loop {
-                sim.steps(n / 2);
-                if sim.is_stably_elected() {
-                    return (false, true);
-                }
-                let c = Census::of(&sim, &params);
-                // Extinction: roles settled, leaders all withdrawn — a
-                // terminal no-leader configuration.
-                if c.uninitialised() == 0 && c.alive() == 0 {
-                    return (true, false);
-                }
-                if sim.interactions() >= budget {
-                    return (false, false);
-                }
+    for (name, protocol) in [
+        ("gsu19 (full)", ProtocolKind::Gsu19),
+        ("direct withdrawal", ProtocolKind::Gsu19Direct),
+    ] {
+        // `settled` stops at stable election *or* terminal extinction
+        // (roles assigned, every candidate withdrawn); the census at the
+        // stop classifies each trial.
+        let mut spec = one_config(protocol, n, trials, 91, 0.0);
+        spec.stop = StopCondition::Settled {
+            budget_pt: 40_000.0,
+        };
+        spec.observables = Observables::parse("census").expect("registered");
+        let artifact = run_experiment(&spec).expect("extinction preset is valid");
+        let config = &artifact.configs[0];
+        let mut extinct = 0usize;
+        let mut elected = 0usize;
+        for record in &config.trials {
+            if !record.outcome.converged {
+                continue;
             }
-        });
-        let extinct = outcomes.iter().filter(|o| o.0).count();
-        let elected = outcomes.iter().filter(|o| o.1).count();
+            if record.outcome.metric("alive") == Some(0.0) {
+                extinct += 1;
+            } else {
+                elected += 1;
+            }
+        }
         t.row([
             name.to_string(),
             trials.to_string(),

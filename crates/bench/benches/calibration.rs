@@ -1,5 +1,7 @@
 //! Experiment CAL — sensitivity of the concrete parameter choices that
-//! DESIGN.md §3 documents as deviations/calibrations:
+//! DESIGN.md §3 documents as deviations/calibrations, swept through the
+//! spec-level `gamma`/`phi`/`psi` overrides (one `ppexp` preset per
+//! swept value):
 //!
 //! 1. **Γ (clock modulus)**: sweep around `gamma_for(n)`. Too small and the
 //!    late half-round cannot fit the heads broadcast (rounds go void, more
@@ -14,8 +16,9 @@
 //!    cannot certify deeper progress; the derived `⌈log₂ log₂ n⌉ + 2`
 //!    matches the whp horizon.
 
-use bench::{measure_convergence, scale, Scale};
-use core_protocol::{Gsu19, Params};
+use bench::{one_config, scale, times_of, Scale};
+use core_protocol::Params;
+use ppexp::{run_experiment, ConfigResult, ProtocolKind};
 use ppsim::stats::Summary;
 use ppsim::table::{fnum, Table};
 
@@ -37,35 +40,37 @@ fn main() {
     psi_sweep(n, trials);
 }
 
+/// One stabilisation study with the given parameter overrides
+/// (`0` = derived).
+fn measure(n: u64, trials: usize, seed: u64, gamma: u16, phi: u8, psi: u8) -> ConfigResult {
+    let mut spec = one_config(ProtocolKind::Gsu19, n, trials, seed, 120_000.0);
+    spec.gamma = gamma;
+    spec.phi = phi;
+    spec.psi = psi;
+    let artifact = run_experiment(&spec).expect("calibration preset is valid");
+    artifact.configs.into_iter().next().expect("one config")
+}
+
+fn sweep_row(t: &mut Table, label: String, config: &ConfigResult) {
+    let times = times_of(config);
+    let s = Summary::of(&times);
+    t.row([
+        label,
+        config.failures.to_string(),
+        fnum(s.mean),
+        fnum(s.median),
+        fnum(ppsim::quantile(&times, 0.9)),
+    ]);
+}
+
 fn gamma_sweep(n: u64, trials: usize) {
-    println!(
-        "--- Γ sweep (derived Γ = {}) ---",
-        Params::for_population(n).gamma
-    );
-    let mut t = Table::new(["Γ", "factor", "fail", "mean t", "median", "p90"]);
     let base = Params::for_population(n).gamma;
+    println!("--- Γ sweep (derived Γ = {base}) ---");
+    let mut t = Table::new(["Γ (factor)", "fail", "mean t", "median", "p90"]);
     for factor in [0.5, 0.75, 1.0, 1.5, 2.0] {
         let gamma = (((base as f64 * factor) as u16).max(8) + 1) & !1;
-        let stats = measure_convergence(
-            |n| {
-                let mut p = Params::for_population(n);
-                p.gamma = gamma;
-                Gsu19::new(p)
-            },
-            n,
-            trials,
-            120_000.0,
-            101,
-        );
-        let s = Summary::of(&stats.times);
-        t.row([
-            gamma.to_string(),
-            format!("{factor:.2}"),
-            stats.failures.to_string(),
-            fnum(s.mean),
-            fnum(s.median),
-            fnum(ppsim::quantile(&stats.times, 0.9)),
-        ]);
+        let config = measure(n, trials, 101, gamma, 0, 0);
+        sweep_row(&mut t, format!("{gamma} ({factor:.2})"), &config);
     }
     t.print();
     println!(
@@ -83,25 +88,16 @@ fn phi_sweep(n: u64, trials: usize) {
     let mut t = Table::new(["Φ", "E[junta]", "fail", "mean t", "median", "p90"]);
     for phi in 1..=(natural + 1) {
         let expected_junta = components::junta::expected_fraction_at_level(0.25, phi) * n as f64;
-        let stats = measure_convergence(
-            |n| {
-                let mut p = Params::for_population(n);
-                p.phi = phi;
-                Gsu19::new(p)
-            },
-            n,
-            trials,
-            120_000.0,
-            102,
-        );
-        let s = Summary::of(&stats.times);
+        let config = measure(n, trials, 102, 0, phi, 0);
+        let times = times_of(&config);
+        let s = Summary::of(&times);
         t.row([
             format!("{phi}{}", if phi == natural { " (derived)" } else { "" }),
             fnum(expected_junta),
-            stats.failures.to_string(),
+            config.failures.to_string(),
             fnum(s.mean),
             fnum(s.median),
-            fnum(ppsim::quantile(&stats.times, 0.9)),
+            fnum(ppsim::quantile(&times, 0.9)),
         ]);
     }
     t.print();
@@ -117,25 +113,12 @@ fn psi_sweep(n: u64, trials: usize) {
     println!("--- Ψ sweep (derived Ψ = {natural}) ---");
     let mut t = Table::new(["Ψ", "fail", "mean t", "median", "p90"]);
     for psi in [1, natural] {
-        let stats = measure_convergence(
-            |n| {
-                let mut p = Params::for_population(n);
-                p.psi = psi;
-                Gsu19::new(p)
-            },
-            n,
-            trials,
-            120_000.0,
-            103,
-        );
-        let s = Summary::of(&stats.times);
-        t.row([
+        let config = measure(n, trials, 103, 0, 0, psi);
+        sweep_row(
+            &mut t,
             format!("{psi}{}", if psi == natural { " (derived)" } else { "" }),
-            stats.failures.to_string(),
-            fnum(s.mean),
-            fnum(s.median),
-            fnum(ppsim::quantile(&stats.times, 0.9)),
-        ]);
+            &config,
+        );
     }
     t.print();
     println!(

@@ -1,85 +1,101 @@
 //! Experiment CLK — empirical validation of **Theorem 3.2** (the
 //! junta-driven phase clock) and the calibration behind
-//! `core_protocol::gamma_for`:
+//! `core_protocol::gamma_for`, through the `clock` registry protocol
+//! (the isolated `components::clock_protocol` component, whose epochs
+//! are its round counter):
 //!
 //! 1. Round length at the per-n default Γ: the parallel time between
-//!    passes through zero should be Θ(log n) — we report `len / log₂ n`.
-//! 2. Round synchronisation: the circular spread of per-agent round
-//!    counters stays ≤ ~2 (rounds form equivalence classes).
-//! 3. A Γ-sweep at fixed n showing the linear `round length ≈ slope·Γ` law
+//!    round-counter advances (`epoch_times` observable) should be
+//!    Θ(log n) — we report `len / log₂ n`.
+//! 2. A Γ-sweep at fixed n showing the linear `round length ≈ slope·Γ` law
 //!    (with the slope depending on the junta fraction) that `gamma_for`
-//!    inverts.
+//!    inverts, via the spec-level `gamma` override.
+//!
+//! Round *synchronisation* (circular spread of the per-agent counters
+//! ≤ 2) is a structural invariant, pinned by the `rounds_stay_in_sync`
+//! test in `crates/components/tests/clock_props.rs` rather than measured
+//! here.
 
-use bench::{lg, scale, Scale};
-use components::clock_protocol::{round_spread, ClockProtocol, ROUND_MOD};
+use bench::{lg, one_config, scale, Scale};
 use core_protocol::gamma_for;
+use ppexp::{run_experiment, ConfigResult, Observables, ProtocolKind, StopCondition};
 use ppsim::table::{fnum, Table};
-use ppsim::{run_trials, AgentSim, Simulator};
 
-/// Measure (mean round length in parallel time, worst round spread) for a
-/// clock instance.
-fn measure(n: u64, gamma: u16, seed: u64, rounds_wanted: u32) -> (f64, u8) {
-    let proto = ClockProtocol::new(n, gamma);
-    let mut sim = AgentSim::new(proto, n as usize, seed);
-    let mut last_round = 0u8;
-    let mut rounds_done = 0u32;
-    let mut t_mark = 0f64;
+/// Mean round length (in parallel time) of one clock config: elapsed
+/// time over rounds advanced, skipping the first three events (start-up
+/// transient, exactly as the old bespoke loop did). The clock's round
+/// counter wraps mod 16 and the reported frontier stalls across wraps,
+/// so each inter-event gap is weighted by the counter distance
+/// `(new − old) mod ROUND_MOD` — one event can span several rounds.
+fn mean_round_length(config: &ConfigResult) -> f64 {
+    use components::clock_protocol::ROUND_MOD;
     let mut lens = Vec::new();
-    let mut worst_spread = 0u8;
-    let budget = (6000.0 * lg(n)) as u64 * n;
-    while sim.interactions() < budget && rounds_done < rounds_wanted {
-        sim.steps((n / 4).max(1));
-        let r = sim.states()[0].rounds;
-        if r != last_round {
-            let steps = (r + ROUND_MOD - last_round) % ROUND_MOD;
-            rounds_done += steps as u32;
-            let t = sim.parallel_time();
-            if rounds_done > 2 {
-                lens.push((t - t_mark) / steps as f64);
-                let mut occupied = [false; ROUND_MOD as usize];
-                for s in sim.states() {
-                    occupied[s.rounds as usize] = true;
-                }
-                worst_spread = worst_spread.max(round_spread(&occupied));
+    for record in &config.trials {
+        let mut events = Vec::new();
+        let mut k = 0;
+        while let (Some(t), Some(v)) = (
+            record.outcome.metric(&format!("round{k}_pt")),
+            record.outcome.metric(&format!("round{k}_val")),
+        ) {
+            events.push((t, v as u32));
+            k += 1;
+        }
+        if events.len() > 4 {
+            let rounds: u32 = events
+                .windows(2)
+                .skip(3)
+                .map(|w| (w[1].1 + ROUND_MOD as u32 - w[0].1) % ROUND_MOD as u32)
+                .sum();
+            if rounds > 0 {
+                lens.push((events[events.len() - 1].0 - events[3].0) / rounds as f64);
             }
-            t_mark = t;
-            last_round = r;
         }
     }
-    let mean = if lens.is_empty() {
+    if lens.is_empty() {
         f64::NAN
     } else {
         ppsim::mean(&lens)
+    }
+}
+
+/// Clock preset: `rounds_wanted` rounds of the clock at `gamma`
+/// (`0` = the calibrated `gamma_for(n)`), horizon sized from the linear
+/// round-length law with headroom.
+fn measure(n: u64, gamma: u16, seed: u64, trials: usize, rounds_wanted: u32) -> ConfigResult {
+    let g = if gamma == 0 { gamma_for(n) } else { gamma };
+    let mut spec = one_config(ProtocolKind::Clock, n, trials, seed, 0.0);
+    spec.gamma = gamma;
+    spec.observables = Observables::parse("epoch_times").expect("registered");
+    // Round length ≈ 0.2–0.6·Γ parallel time; budget generously.
+    spec.stop = StopCondition::Horizon {
+        at_pt: rounds_wanted as f64 * g as f64,
     };
-    (mean, worst_spread)
+    let artifact = run_experiment(&spec).expect("clock preset is valid");
+    artifact.configs.into_iter().next().expect("one config")
 }
 
 fn main() {
     let sc = scale();
     println!("=== CLK: junta-driven phase clock (Theorem 3.2) ({sc:?} scale) ===\n");
 
-    println!("--- Round length and synchronisation at the calibrated Γ(n) ---");
-    let mut t = Table::new(["n", "Γ", "round len", "len/log2 n", "worst spread", "sync"]);
+    println!("--- Round length at the calibrated Γ(n) ---");
+    let mut t = Table::new(["n", "Γ", "round len", "len/log2 n"]);
     for &n in &sc.n_grid() {
         let gamma = gamma_for(n);
         let trials = sc.trials(n).min(6);
-        let results = run_trials(trials, 61, |i, _| measure(n, gamma, 1000 + i as u64, 10));
-        let lens: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let spread = results.iter().map(|r| r.1).max().unwrap_or(0);
-        let len = ppsim::mean(&lens);
+        let config = measure(n, 0, 61, trials, 12);
+        let len = mean_round_length(&config);
         t.row([
             n.to_string(),
             gamma.to_string(),
             fnum(len),
             format!("{:.2}", len / lg(n)),
-            spread.to_string(),
-            if spread <= 3 { "ok" } else { "DESYNC" }.to_string(),
         ]);
     }
     t.print();
     println!(
         "Expected: len/log2 n stays in a narrow band (the gamma_for calibration\n\
-         targets ~5), and the population never smears across rounds.\n"
+         targets ~5); synchronisation is pinned by the components test suite.\n"
     );
 
     println!("--- Γ sweep at fixed n: the linear round-length law ---");
@@ -89,7 +105,8 @@ fn main() {
     };
     let mut t = Table::new(["Γ", "round len", "len/Γ"]);
     for gamma in [16u16, 24, 32, 48, 64] {
-        let (len, _) = measure(n, gamma, 7, 10);
+        let config = measure(n, gamma, 7, 1, 12);
+        let len = mean_round_length(&config);
         t.row([
             gamma.to_string(),
             fnum(len),

@@ -15,7 +15,7 @@
 
 use bench::{lg, scale};
 use core_protocol::Gsu19;
-use ppexp::{run_experiment, ExperimentSpec, ObservableSet, ProtocolKind, StopCondition};
+use ppexp::{run_experiment, ExperimentSpec, Observables, ProtocolKind, StopCondition};
 use ppsim::table::{fnum, Table};
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
             ns: vec![n],
             trials,
             seed: 11,
-            observables: ObservableSet::Census,
+            observables: Observables::parse("level_sizes").expect("registered"),
             stop: StopCondition::Horizon {
                 at_pt: 60.0 * lg(n),
             },

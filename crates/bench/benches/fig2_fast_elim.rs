@@ -5,67 +5,64 @@
 //! A ≤ n/2 --(coin Φ)--> A ≤ n^a --> ... --(coin 1)--> A ≤ c·log n
 //! ```
 //!
-//! We track the number of *active* leader candidates at every clock-round
-//! boundary through the fast-elimination epoch and compare the per-round
-//! survival factor with the coin bias `q` used in that round (Lemma 6.1:
-//! the expected reduction factor is `q` as long as heads still occur; once
-//! `A·q ≲ log n` rounds go void and the count plateaus at `O(log n)`).
+//! We track the number of *active* leader candidates at every epoch
+//! transition of the fast-elimination countdown — the `epoch_candidates`
+//! registry observable, fired whenever the leaders' `cnt` decrements
+//! (`Protocol::epoch_of` / `Simulator::current_epoch`) — and compare the
+//! per-round survival factor with the coin bias `q` used in that round
+//! (Lemma 6.1: the expected reduction factor is `q` as long as heads
+//! still occur; once `A·q ≲ log n` rounds go void and the count plateaus
+//! at `O(log n)`).
 //!
 //! Two panels:
-//! * **cascade only** (rule (11) disabled) — the pure Lemma 6.2 dynamics;
+//! * **cascade only** (rule (11) disabled, `gsu19-no-backup`) — the pure
+//!   Lemma 6.2 dynamics;
 //! * **full protocol** — at bench-scale n the always-on backup duels
 //!   already thin the n/2 candidates to ~n/round-length during the long
 //!   first round (the paper: rule (11) "may only speed up the elimination
 //!   process"), so the cascade finishes from a much lower starting point.
 
-use baselines::gsu_no_backup;
-use bench::{lg, run_rounds, scale, Scale};
-use core_protocol::{Census, Gsu19, Params};
+use bench::{lg, one_config, scale, Scale};
+use core_protocol::{Gsu19, Params};
+use ppexp::{run_experiment, Observables, ProtocolKind, StopCondition};
 use ppsim::table::{fnum, Table};
-use ppsim::AgentSim;
 
-fn trajectory_panel(
-    title: &str,
-    make: impl Fn(u64) -> Gsu19 + Sync,
-    n: u64,
-    trials: usize,
-    seed: u64,
-) {
-    let params = *make(n).params();
+fn trajectory_panel(title: &str, protocol: ProtocolKind, n: u64, trials: usize, seed: u64) {
+    let params = *Gsu19::for_population(n).params();
     let total_rounds = params.cnt_init() as usize + 6;
 
-    let trajectories: Vec<Vec<(Option<u8>, u64)>> = ppsim::run_trials(trials, seed, |_, s| {
-        let proto = make(n);
-        let params = *proto.params();
-        let mut sim = AgentSim::new(proto, n as usize, s);
-        let mut traj = Vec::new();
-        run_rounds(
-            &mut sim,
-            |st| st.phase,
-            total_rounds,
-            100.0 * lg(n) * total_rounds as f64,
-            |sim, _| {
-                let c = Census::of(sim, &params);
-                traj.push((c.max_cnt, c.active));
-                true
-            },
-        );
-        traj
-    });
+    let mut spec = one_config(protocol, n, trials, seed, 0.0);
+    spec.observables = Observables::parse("epoch_candidates").expect("registered");
+    spec.stop = StopCondition::Stabilize {
+        budget_pt: 100.0 * lg(n) * total_rounds as f64,
+    };
+    let artifact = run_experiment(&spec).expect("figure 2 preset is valid");
+    let config = &artifact.configs[0];
 
     println!("--- {title} ---");
     let mut t = Table::new([
-        "round", "cnt", "coin", "bias q", "mean A", "A_next/A", "note",
+        "epoch", "cnt", "coin", "bias q", "mean A", "A_next/A", "note",
     ]);
-    let rounds = trajectories.iter().map(|t| t.len()).min().unwrap_or(0);
     let mut prev_mean: Option<f64> = None;
-    for r in 0..rounds {
-        let actives: Vec<f64> = trajectories.iter().map(|t| t[r].1 as f64).collect();
-        let mean = ppsim::mean(&actives);
-        let cnt = trajectories[0][r].0;
+    // One row per epoch transition every *converged* trial reached (the
+    // countdown is lockstep, so ordinals line up across trials;
+    // aggregates only cover converged trials, hence the failure offset).
+    let converged = config.trials.len() - config.failures;
+    for k in 0.. {
+        let (Some(val), Some(active)) = (
+            config.aggregate(&format!("epoch{k}_val")),
+            config.aggregate(&format!("epoch{k}_active")),
+        ) else {
+            break;
+        };
+        if val.count < converged {
+            break; // not every trial got this far before stabilising
+        }
+        let cnt = params.cnt_init().saturating_sub(val.mean.round() as u8);
         let (coin, bias) = describe_coin(&params, cnt);
+        let mean = active.mean;
         let factor = prev_mean.map(|p| mean / p);
-        let note = if cnt == Some(0) {
+        let note = if cnt == 0 {
             "final epoch"
         } else if mean <= 10.0 * lg(n) {
             "<= c*log n plateau"
@@ -73,8 +70,8 @@ fn trajectory_panel(
             ""
         };
         t.row([
-            r.to_string(),
-            cnt.map(|c| c.to_string()).unwrap_or_default(),
+            k.to_string(),
+            cnt.to_string(),
             coin,
             bias,
             fnum(mean),
@@ -87,12 +84,9 @@ fn trajectory_panel(
     println!();
 }
 
-fn describe_coin(params: &Params, cnt: Option<u8>) -> (String, String) {
-    match cnt {
-        Some(c) => match params.coin_for_cnt(c) {
-            Some(l) => (format!("{l}"), format!("{:.2e}", params.coin_bias(l))),
-            None => ("-".into(), "-".into()),
-        },
+fn describe_coin(params: &Params, cnt: u8) -> (String, String) {
+    match params.coin_for_cnt(cnt) {
+        Some(l) => (format!("{l}"), format!("{:.2e}", params.coin_bias(l))),
         None => ("-".into(), "-".into()),
     }
 }
@@ -109,12 +103,12 @@ fn main() {
 
     trajectory_panel(
         "cascade only (backup rule (11) disabled)",
-        gsu_no_backup,
+        ProtocolKind::Gsu19NoBackup,
         n,
         trials,
         21,
     );
-    trajectory_panel("full protocol", Gsu19::for_population, n, trials, 22);
+    trajectory_panel("full protocol", ProtocolKind::Gsu19, n, trials, 22);
 
     println!(
         "Expected shape (cascade panel): A starts at ≈ n/2, each coin-ℓ round\n\

@@ -5,16 +5,18 @@
 //! like `Θ(4^ℓ · n · log n)`.
 //!
 //! The drag counter keeps ticking after stabilisation (the unique leader
-//! keeps flipping and climbing), so we simply run past convergence and
-//! timestamp the first appearance of every drag value on an active
-//! candidate. Reported: mean `T_ℓ`, the normalised `T_ℓ / (4^ℓ n log₂ n)`
-//! (should be roughly level-independent) and the consecutive ratio
+//! keeps flipping and climbing), so the preset simply runs past
+//! convergence with a `drag:TARGET` stop, and the `drag_times`
+//! observable timestamps the first appearance of every drag value on an
+//! active candidate (`drag_ge{l}_pt`, sampled on a fine round grid).
+//! Reported: mean `T_ℓ`, the normalised `T_ℓ / (4^ℓ n log₂ n)` (should
+//! be roughly level-independent) and the consecutive ratio
 //! `T_{ℓ+1}/T_ℓ` (should hover near 4).
 
-use bench::{lg, scale, Scale};
-use core_protocol::{Census, Gsu19};
+use bench::{lg, one_config, scale, Scale};
+use core_protocol::Gsu19;
+use ppexp::{run_experiment, Observables, ProtocolKind, StopCondition};
 use ppsim::table::{fnum, Table};
-use ppsim::{run_trials, AgentSim, Simulator};
 
 fn main() {
     let sc = scale();
@@ -23,8 +25,7 @@ fn main() {
         Scale::Default => 1 << 11,
         Scale::Large => 1 << 12,
     };
-    let proto = Gsu19::for_population(n);
-    let params = *proto.params();
+    let params = *Gsu19::for_population(n).params();
     let target_drag = match sc {
         Scale::Quick => 3u8,
         Scale::Default => 4,
@@ -40,28 +41,17 @@ fn main() {
     // Budget: reaching drag ℓ costs ~Σ 4^i·log n ≈ (4^ℓ·4/3)·c·log n.
     let budget_parallel = 4f64.powi(target_drag as i32) * lg(n) * 40.0;
 
-    let first_seen: Vec<Vec<Option<u64>>> = run_trials(trials, 31, |_, seed| {
-        let proto = Gsu19::for_population(n);
-        let params = *proto.params();
-        let mut sim = AgentSim::new(proto, n as usize, seed);
-        let mut seen: Vec<Option<u64>> = vec![None; target_drag as usize + 1];
-        let budget = (budget_parallel * n as f64) as u64;
-        while sim.interactions() < budget {
-            sim.steps((n / 4).max(1));
-            let c = Census::of(&sim, &params);
-            if let Some(d) = c.max_active_drag {
-                for l in 0..=d.min(target_drag) {
-                    if seen[l as usize].is_none() {
-                        seen[l as usize] = Some(sim.interactions());
-                    }
-                }
-                if d >= target_drag {
-                    break;
-                }
-            }
-        }
-        seen
-    });
+    let mut spec = one_config(ProtocolKind::Gsu19, n, trials, 31, 0.0);
+    spec.stop = StopCondition::DragReached {
+        level: target_drag,
+        budget_pt: budget_parallel,
+    };
+    spec.observables = Observables::parse("drag_times").expect("registered");
+    // Fine observation grid (~n/4 interactions at bench-scale n), so the
+    // level-0 → 1 gap isn't swallowed by quantisation.
+    spec.round_every = 0.25 / lg(n);
+    let artifact = run_experiment(&spec).expect("figure 3 preset is valid");
+    let config = &artifact.configs[0];
 
     let mut t = Table::new([
         "l",
@@ -75,11 +65,13 @@ fn main() {
         // T_ℓ := gap between the first drag=ℓ and the first drag=ℓ+1
         // appearance; this row is ℓ = step − 1.
         let l = step - 1;
-        let gaps: Vec<f64> = first_seen
+        let gaps: Vec<f64> = config
+            .trials
             .iter()
-            .filter_map(|seen| match (seen[step - 1], seen[step]) {
-                (Some(a), Some(b)) if b > a => Some((b - a) as f64),
-                _ => None,
+            .filter_map(|r| {
+                let a = r.outcome.metric(&format!("drag_ge{}_pt", step - 1))?;
+                let b = r.outcome.metric(&format!("drag_ge{step}_pt"))?;
+                (b > a).then_some((b - a) * n as f64)
             })
             .collect();
         if gaps.is_empty() {

@@ -1,19 +1,22 @@
-//! Experiment L* — quantitative validation of the paper's lemmas:
+//! Experiment L* — quantitative validation of the paper's lemmas, each a
+//! `ppexp` preset over the observable registry:
 //!
 //! * **Lemma 4.1**: at most `O(n/log n)` agents end up deactivated —
-//!   `D · log₂ n / n` should be bounded across n.
+//!   `D · log₂ n / n` should be bounded across n (`census` at a fixed
+//!   horizon).
 //! * **Lemmas 5.1/5.2**: the level recursion
-//!   `C_{ℓ+1} ∈ [9/20, 11/10] · C_ℓ²/n`.
-//! * **Lemma 5.3**: junta size `C_Φ ∈ [n^0.45, n^0.77]`.
+//!   `C_{ℓ+1} ∈ [9/20, 11/10] · C_ℓ²/n` (`level_sizes`).
+//! * **Lemma 5.3**: junta size `C_Φ ∈ [n^0.45, n^0.77]` (`junta_size`).
 //! * **Lemma 7.1**: inhibitor drag subgroups `D'_ℓ ≈ n_I · 4^{−ℓ}`
-//!   (cumulative: inhibitors with drag ≥ ℓ).
+//!   (`drag_histogram`, cumulative: inhibitors with drag ≥ ℓ).
 //! * **Lemma 7.3**: `O(log log n)` expected rounds reduce the active
-//!   candidates from `c·log n` to 1 in the final epoch.
+//!   candidates from `c·log n` to 1 in the final epoch (synthetic
+//!   `init = final-epoch:4lg` start, `active:1` stop).
 
-use bench::{lg, run_rounds, scale};
-use core_protocol::{Census, Gsu19};
+use bench::{lg, one_config, scale, times_of};
+use core_protocol::Gsu19;
+use ppexp::{run_experiment, ConfigResult, InitConfig, Observables, ProtocolKind, StopCondition};
 use ppsim::table::{fnum, Table};
-use ppsim::{run_trials, AgentSim, Simulator};
 
 fn main() {
     let sc = scale();
@@ -24,23 +27,27 @@ fn main() {
     lemma_7_3(sc);
 }
 
+/// Horizon census preset: GSU19 at one population, full census at
+/// `at_pt`, selected observables.
+fn census_at(n: u64, trials: usize, seed: u64, at_pt: f64, observables: &str) -> ConfigResult {
+    let mut spec = one_config(ProtocolKind::Gsu19, n, trials, seed, 0.0);
+    spec.stop = StopCondition::Horizon { at_pt };
+    spec.observables = Observables::parse(observables).expect("registered");
+    let artifact = run_experiment(&spec).expect("lemma preset is valid");
+    artifact.configs.into_iter().next().expect("one config")
+}
+
 /// Lemma 4.1: deactivated stragglers are O(n / log n).
 fn lemma_4_1(sc: bench::Scale) {
     println!("--- Lemma 4.1: uninitialised agents after round 1 are O(n/log n) ---");
     let mut t = Table::new(["n", "mean D", "D/n", "D*log2(n)/n", "uninit left"]);
     for &n in &sc.n_grid() {
         let trials = sc.trials(n).min(12);
-        let rows: Vec<(u64, u64)> = run_trials(trials, 41, |_, seed| {
-            let proto = Gsu19::for_population(n);
-            let params = *proto.params();
-            let mut sim = AgentSim::new(proto, n as usize, seed);
-            // Run well past round 2 so deactivation has fired.
-            sim.steps((30.0 * lg(n)) as u64 * n);
-            let c = Census::of(&sim, &params);
-            (c.d, c.uninitialised())
-        });
-        let d_mean = ppsim::mean(&rows.iter().map(|r| r.0 as f64).collect::<Vec<_>>());
-        let uninit = ppsim::mean(&rows.iter().map(|r| r.1 as f64).collect::<Vec<_>>());
+        // Run well past round 2 so deactivation has fired.
+        let config = census_at(n, trials, 41, 30.0 * lg(n), "census");
+        let d_mean = config.aggregate("deactivated").expect("census metric").mean;
+        let uninit = config.aggregate("zero").expect("census metric").mean
+            + config.aggregate("x").expect("census metric").mean;
         t.row([
             n.to_string(),
             fnum(d_mean),
@@ -61,21 +68,17 @@ fn lemmas_5x(sc: bench::Scale) {
     let mut t = Table::new(["n", "level", "C_l", "C_(l+1)", "ratio*n/C_l^2", "in band"]);
     for &n in &sc.n_grid() {
         let trials = sc.trials(n).min(12);
-        let proto = Gsu19::for_population(n);
-        let params = *proto.params();
-        let sizes: Vec<Vec<f64>> = run_trials(trials, 43, |_, seed| {
-            let proto = Gsu19::for_population(n);
-            let params = *proto.params();
-            let mut sim = AgentSim::new(proto, n as usize, seed);
-            sim.steps((60.0 * lg(n)) as u64 * n);
-            let c = Census::of(&sim, &params);
-            (0..=params.phi)
-                .map(|l| c.coins_at_least(l) as f64)
-                .collect()
-        });
-        for l in 0..params.phi as usize {
-            let cl = ppsim::mean(&sizes.iter().map(|s| s[l]).collect::<Vec<_>>());
-            let cl1 = ppsim::mean(&sizes.iter().map(|s| s[l + 1]).collect::<Vec<_>>());
+        let params = *Gsu19::for_population(n).params();
+        let config = census_at(n, trials, 43, 60.0 * lg(n), "level_sizes");
+        let level = |l: u8| {
+            config
+                .aggregate(&format!("coins_ge{l}"))
+                .expect("level metric")
+                .mean
+        };
+        for l in 0..params.phi {
+            let cl = level(l);
+            let cl1 = level(l + 1);
             let ratio = cl1 * n as f64 / (cl * cl);
             let in_band = (0.45..=1.10).contains(&ratio);
             t.row([
@@ -87,12 +90,7 @@ fn lemmas_5x(sc: bench::Scale) {
                 if in_band { "yes" } else { "NO" }.to_string(),
             ]);
         }
-        let junta = ppsim::mean(
-            &sizes
-                .iter()
-                .map(|s| s[params.phi as usize])
-                .collect::<Vec<_>>(),
-        );
+        let junta = level(params.phi);
         let expo = junta.max(1.0).ln() / (n as f64).ln();
         println!("n = {n}: junta = {junta:.1} = n^{expo:.3} (Lemma 5.3 target [0.45, 0.77])");
     }
@@ -105,28 +103,18 @@ fn lemma_7_1(sc: bench::Scale) {
     println!("--- Lemma 7.1: inhibitors with drag >= l ~ n_I * 4^(-l) ---");
     let n = *sc.n_grid().last().unwrap();
     let trials = sc.trials(n).min(12);
-    let proto = Gsu19::for_population(n);
-    let params = *proto.params();
-    let hists: Vec<Vec<u64>> = run_trials(trials, 47, |_, seed| {
-        let proto = Gsu19::for_population(n);
-        let params = *proto.params();
-        let mut sim = AgentSim::new(proto, n as usize, seed);
-        sim.steps((30.0 * lg(n)) as u64 * n);
-        Census::of(&sim, &params).inhibitor_drags
-    });
+    let params = *Gsu19::for_population(n).params();
+    let config = census_at(n, trials, 47, 30.0 * lg(n), "drag_histogram");
     let mut t = Table::new(["drag l", "mean D'_l (>= l)", "n_I*4^-l", "ratio"]);
-    let n_i: f64 = ppsim::mean(
-        &hists
-            .iter()
-            .map(|h| h.iter().sum::<u64>() as f64)
-            .collect::<Vec<_>>(),
-    );
-    for l in 0..=params.psi as usize {
-        let cum: Vec<f64> = hists
-            .iter()
-            .map(|h| h.iter().skip(l).sum::<u64>() as f64)
-            .collect();
-        let mean = ppsim::mean(&cum);
+    let n_i = config
+        .aggregate("inhib_ge0")
+        .expect("histogram metric")
+        .mean;
+    for l in 0..=params.psi {
+        let mean = config
+            .aggregate(&format!("inhib_ge{l}"))
+            .expect("histogram metric")
+            .mean;
         let pred = n_i * 4f64.powi(-(l as i32));
         if pred < 0.5 {
             break;
@@ -144,63 +132,57 @@ fn lemma_7_1(sc: bench::Scale) {
 
 /// Lemma 7.3: O(log log n) expected final-epoch rounds from c·log n
 /// actives. At bench-scale n the real second epoch (plus the duels) leaves
-/// far fewer than c·log n actives, so we start the final epoch from a
-/// *synthetic* settled configuration with exactly `4·log₂ n` actives
-/// (`core_protocol::synthetic`) and count clock rounds until one remains.
+/// far fewer than c·log n actives, so the preset starts the final epoch
+/// from a *synthetic* settled configuration with exactly `4·log₂ n`
+/// actives (`init = final-epoch:4lg`) and stops when one remains
+/// (`active:1`). One clock round is ≈ 5·log₂ n parallel time at the
+/// calibrated Γ, so `t / (5 log₂ n)` estimates the round count.
 fn lemma_7_3(sc: bench::Scale) {
     println!("--- Lemma 7.3: final-epoch rounds from c*log n actives to a single one ---");
     let mut t = Table::new([
         "n",
         "k=4*lg n",
         "trials",
-        "mean rounds",
-        "p90",
-        "max",
+        "mean t",
+        "~rounds",
+        "p90 rounds",
         "lg lg n",
     ]);
     for &n in &sc.n_grid() {
         let trials = sc.trials(n).min(16);
-        let k = (4.0 * lg(n)).round() as u64;
-        let rows: Vec<Option<usize>> = run_trials(trials, 53, |_, seed| {
-            let proto = Gsu19::for_population(n);
-            let params = *proto.params();
-            let states = core_protocol::synthetic::final_epoch_config(&params, n, k, seed ^ 0xABCD);
-            let mut sim = AgentSim::with_states(proto, states, seed);
-            let mut done: Option<usize> = None;
-            run_rounds(
-                &mut sim,
-                |s| s.phase,
-                400,
-                40_000.0,
-                |sim, round| {
-                    let c = Census::of(sim, &params);
-                    if c.active <= 1 {
-                        done = Some(round);
-                        return false;
-                    }
-                    true
-                },
-            );
-            done
-        });
-        let rounds: Vec<f64> = rows.into_iter().flatten().map(|r| r as f64).collect();
-        if rounds.is_empty() {
+        let mut spec = one_config(ProtocolKind::Gsu19, n, trials, 53, 0.0);
+        spec.init = InitConfig::FinalEpoch {
+            k: 4,
+            times_log2: true,
+        };
+        spec.stop = StopCondition::ActivesBelow {
+            count: 1,
+            budget_pt: 40_000.0,
+        };
+        let artifact = run_experiment(&spec).expect("lemma 7.3 preset is valid");
+        let config = &artifact.configs[0];
+        let times = times_of(config);
+        if times.is_empty() {
             continue;
         }
+        let round = 5.0 * lg(n);
         t.row([
             n.to_string(),
-            k.to_string(),
-            rounds.len().to_string(),
-            fnum(ppsim::mean(&rounds)),
-            fnum(ppsim::quantile(&rounds, 0.9)),
-            fnum(ppsim::quantile(&rounds, 1.0)),
+            spec.init
+                .actives_for(n)
+                .expect("synthetic init")
+                .to_string(),
+            times.len().to_string(),
+            fnum(ppsim::mean(&times)),
+            format!("{:.1}", ppsim::mean(&times) / round),
+            format!("{:.1}", ppsim::quantile(&times, 0.9) / round),
             format!("{:.2}", lg(n).log2()),
         ]);
     }
     t.print();
     println!(
-        "Expected: mean rounds grows like log log n — i.e. barely moves while\n\
-         n (and the entry count k) grows (Lemma 7.3: E[F_{{i+1}}|F_i] <= 5/6 F_i,\n\
-         so E[rounds] = O(log F_0)).\n"
+        "Expected: the ~rounds column grows like log log n — i.e. barely moves\n\
+         while n (and the entry count k) grows (Lemma 7.3: E[F_{{i+1}}|F_i] <=\n\
+         5/6 F_i, so E[rounds] = O(log F_0)).\n"
     );
 }

@@ -13,17 +13,35 @@
 //! ```
 //!
 //! We report, per protocol and population size: the designed state-space
-//! size, the distinct states actually observed along a trajectory, and the
-//! distribution of the stabilisation parallel time, with the two
-//! normalisation columns that discriminate the bounds
+//! size, the distinct states actually observed along the trajectories
+//! (the `observed_states` registry observable, sampled on the round
+//! grid), and the distribution of the stabilisation parallel time, with
+//! the two normalisation columns that discriminate the bounds
 //! (`t/log² n` and `t/(log n·log log n)`).
+//!
+//! Each grid point is one `ppexp` stabilisation preset; everything in
+//! the table comes out of the artifact.
 
-use baselines::{Bkko18, Gs18, SlowLe};
-use bench::{lg2, lg_lglg, measure_convergence, observed_states, scale, Scale};
-use core_protocol::Gsu19;
+use bench::{lg2, lg_lglg, metric_of, one_config, scale, times_of, Scale};
+use ppexp::{run_experiment, ConfigResult, ProtocolKind};
 use ppsim::stats::Summary;
 use ppsim::table::{fnum, Table};
-use ppsim::EnumerableProtocol;
+
+fn measure(
+    protocol: ProtocolKind,
+    n: u64,
+    trials: usize,
+    seed: u64,
+    budget_pt: f64,
+) -> ConfigResult {
+    let mut spec = one_config(protocol, n, trials, seed, budget_pt);
+    spec.observables = ppexp::Observables::parse("observed_states").expect("registered");
+    // Sample the state sweep a few times per clock round (the old bespoke
+    // loop looked every n/2 interactions; 0.1·n·log₂ n is comparable).
+    spec.round_every = 0.1;
+    let artifact = run_experiment(&spec).expect("table 1 preset is valid");
+    artifact.configs.into_iter().next().expect("one config")
+}
 
 fn main() {
     let sc = scale();
@@ -50,35 +68,21 @@ fn main() {
         _ => vec![64, 128, 256, 512],
     };
     for &n in &slow_grid {
-        let stats = measure_convergence(|_| SlowLe, n, sc.trials(n), 400.0 * n as f64, 1);
-        push_row(&mut t, "slow [AAD+04]", n, 2, 2, &stats);
+        let config = measure(ProtocolKind::Slow, n, sc.trials(n), 1, 400.0 * n as f64);
+        push_row(&mut t, "slow [AAD+04]", n, &config);
     }
 
     for &n in &sc.n_grid() {
         let trials = sc.trials(n);
         let budget = 60_000.0;
-
-        let gs = Gs18::for_population(n);
-        let stats = measure_convergence(Gs18::for_population, n, trials, budget, 2);
-        let seen = observed_states(Gs18::for_population, n, budget, 1002);
-        push_row(&mut t, "gs18", n, gs.num_states(), seen, &stats);
-
-        let bk = Bkko18::for_population(n);
-        let stats = measure_convergence(Bkko18::for_population, n, trials, budget, 3);
-        let seen = observed_states(Bkko18::for_population, n, budget, 1003);
-        push_row(&mut t, "bkko18", n, bk.num_states(), seen, &stats);
-
-        let gsu = Gsu19::for_population(n);
-        let stats = measure_convergence(Gsu19::for_population, n, trials, budget, 4);
-        let seen = observed_states(Gsu19::for_population, n, budget, 1004);
-        push_row(
-            &mut t,
-            "gsu19 (this work)",
-            n,
-            gsu.num_states(),
-            seen,
-            &stats,
-        );
+        for (label, protocol, seed) in [
+            ("gs18", ProtocolKind::Gs18, 2u64),
+            ("bkko18", ProtocolKind::Bkko18, 3),
+            ("gsu19 (this work)", ProtocolKind::Gsu19, 4),
+        ] {
+            let config = measure(protocol, n, trials, seed, budget);
+            push_row(&mut t, label, n, &config);
+        }
     }
 
     t.print();
@@ -87,32 +91,28 @@ fn main() {
         "\nReading guide: for gs18/bkko18 the t/log2n column should be ~flat in n;\n\
          for gsu19 t/(lg*lglg) should be ~flat while its t/log2n declines.\n\
          'states' is the designed state-space size (the product encoding is an\n\
-         upper bound); 'seen' counts distinct states observed on one trajectory.\n\
+         upper bound); 'seen' is the mean distinct-state count observed per\n\
+         trajectory (observed_states observable).\n\
          gsu19/gs18 state counts stay near-flat in n (O(log log n) machinery),\n\
          bkko18's grows linearly in log n."
     );
 }
 
-fn push_row(
-    t: &mut Table,
-    name: &str,
-    n: u64,
-    designed: usize,
-    seen: usize,
-    stats: &bench::ConvergenceStats,
-) {
-    let s = Summary::of(&stats.times);
+fn push_row(t: &mut Table, name: &str, n: u64, config: &ConfigResult) {
+    let times = times_of(config);
+    let s = Summary::of(&times);
+    let seen = ppsim::mean(&metric_of(config, "observed_states"));
     t.row([
         name.to_string(),
         n.to_string(),
-        designed.to_string(),
-        seen.to_string(),
-        (stats.times.len() + stats.failures).to_string(),
-        stats.failures.to_string(),
+        config.protocol.num_states(n).to_string(),
+        format!("{seen:.0}"),
+        config.trials.len().to_string(),
+        config.failures.to_string(),
         fnum(s.mean),
         fnum(s.ci95),
         fnum(s.median),
-        fnum(ppsim::quantile(&stats.times, 0.9)),
+        fnum(ppsim::quantile(&times, 0.9)),
         fnum(s.mean / lg2(n)),
         fnum(s.mean / lg_lglg(n)),
     ]);

@@ -5,11 +5,15 @@
 //! EXPERIMENTS.md for paper-vs-measured results. All targets honour the
 //! `PP_SCALE` environment variable: `quick` (CI smoke), `default`, or
 //! `large` (bigger grids and more trials).
+//!
+//! Since the observable-registry migration, no bench drives a simulator
+//! by hand: every measurement is an [`ExperimentSpec`] preset executed
+//! through `ppexp::run_experiment`, and the tables are rendered from the
+//! artifact's aggregates and per-trial records. This module only holds
+//! the scale ladder, the spec preset builder and artifact post-processing
+//! helpers (statistics come from [`ppsim::stats::Summary`]).
 
-use std::collections::HashSet;
-use std::hash::Hash;
-
-use ppsim::{run_trials, run_until_stable, AgentSim, Protocol, Simulator};
+use ppexp::{ConfigResult, ExperimentSpec, ProtocolKind, StopCondition};
 
 /// Experiment scale, from the `PP_SCALE` environment variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,108 +56,46 @@ impl Scale {
     }
 }
 
-/// Results of a convergence experiment at one population size.
-#[derive(Clone, Debug)]
-pub struct ConvergenceStats {
-    pub n: u64,
-    /// Parallel times of converged trials.
-    pub times: Vec<f64>,
-    /// Trials that did not stabilise within the budget.
-    pub failures: usize,
-}
-
-/// Run `trials` independent convergence trials of `make(n)` in parallel
-/// and collect parallel times. `budget_parallel` is the per-trial budget in
-/// parallel-time units.
-pub fn measure_convergence<P, F>(
-    make: F,
+/// Single-config spec preset: one protocol at one population, with a
+/// stabilisation stop. Benches override `stop`/`observables`/`init`/
+/// parameter knobs on the returned value.
+pub fn one_config(
+    protocol: ProtocolKind,
     n: u64,
     trials: usize,
-    budget_parallel: f64,
-    master_seed: u64,
-) -> ConvergenceStats
-where
-    P: Protocol,
-    F: Fn(u64) -> P + Sync,
-{
-    let budget = (budget_parallel * n as f64) as u64;
-    let results = run_trials(trials, master_seed, |_, seed| {
-        let mut sim = AgentSim::new(make(n), n as usize, seed);
-        let res = run_until_stable(&mut sim, budget);
-        (res.converged, res.parallel_time)
-    });
-    let mut times = Vec::new();
-    let mut failures = 0;
-    for (ok, t) in results {
-        if ok {
-            times.push(t);
-        } else {
-            failures += 1;
-        }
+    seed: u64,
+    budget_pt: f64,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        protocols: vec![protocol],
+        ns: vec![n],
+        trials,
+        seed,
+        stop: StopCondition::Stabilize { budget_pt },
+        ..ExperimentSpec::default()
     }
-    ConvergenceStats { n, times, failures }
 }
 
-/// Count the distinct states observed along one trajectory (sampled every
-/// `n/2` interactions plus the final configuration). A lower bound on the
-/// reachable-state count that makes the "states" column of Table 1
-/// measurable rather than theoretical.
-pub fn observed_states<P>(make: impl Fn(u64) -> P, n: u64, budget_parallel: f64, seed: u64) -> usize
-where
-    P: Protocol,
-    P::State: Eq + Hash,
-{
-    let mut sim = AgentSim::new(make(n), n as usize, seed);
-    let mut seen: HashSet<P::State> = HashSet::new();
-    let budget = (budget_parallel * n as f64) as u64;
-    loop {
-        for &s in sim.states() {
-            seen.insert(s);
-        }
-        if sim.is_stably_elected() || sim.interactions() >= budget {
-            break;
-        }
-        sim.steps(n / 2);
-    }
-    seen.len()
+/// Stop times of the converged trials of a config, in trial order —
+/// feed to [`ppsim::stats::Summary`] / [`ppsim::quantile`] for the
+/// table columns the artifact aggregates don't carry (e.g. p90).
+pub fn times_of(config: &ConfigResult) -> Vec<f64> {
+    config
+        .trials
+        .iter()
+        .filter(|r| r.outcome.converged)
+        .filter_map(|r| r.outcome.metric("time"))
+        .collect()
 }
 
-/// Drive an [`AgentSim`] round by round, invoking `on_round` at each round
-/// boundary of agent 0 (detected as a decrease of its clock phase). Stops
-/// after `max_rounds` boundaries, when `budget_parallel` expires, or when
-/// `on_round` returns `false`.
-///
-/// Returns the number of completed rounds.
-pub fn run_rounds<P, F>(
-    sim: &mut AgentSim<P>,
-    phase_of: impl Fn(&P::State) -> u16,
-    max_rounds: usize,
-    budget_parallel: f64,
-    mut on_round: F,
-) -> usize
-where
-    P: Protocol,
-    F: FnMut(&AgentSim<P>, usize) -> bool,
-{
-    let n = sim.population();
-    let chunk = (n / 8).max(1);
-    let budget = (budget_parallel * n as f64) as u64;
-    let mut last_phase = phase_of(&sim.states()[0]);
-    let mut rounds = 0;
-    while rounds < max_rounds && sim.interactions() < budget {
-        sim.steps(chunk);
-        let phase = phase_of(&sim.states()[0]);
-        // A wrap shows up as a large decrease; small jitter (max_Γ moving
-        // backwards never happens, so any decrease is a wrap).
-        if phase < last_phase {
-            rounds += 1;
-            if !on_round(sim, rounds) {
-                break;
-            }
-        }
-        last_phase = phase;
-    }
-    rounds
+/// A per-trial metric across all trials of a config (converged or not),
+/// skipping trials that don't carry it.
+pub fn metric_of(config: &ConfigResult, name: &str) -> Vec<f64> {
+    config
+        .trials
+        .iter()
+        .filter_map(|r| r.outcome.metric(name))
+        .collect()
 }
 
 /// `log₂ n`.
@@ -174,7 +116,7 @@ pub fn lg2(n: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use baselines::SlowLe;
+    use ppexp::run_experiment;
 
     #[test]
     fn scale_grids_are_ordered() {
@@ -193,23 +135,24 @@ mod tests {
     }
 
     #[test]
-    fn measure_convergence_on_slow_protocol() {
-        let stats = measure_convergence(|_| SlowLe, 64, 8, 10_000.0, 1);
-        assert_eq!(stats.failures, 0);
-        assert_eq!(stats.times.len(), 8);
-        assert!(stats.times.iter().all(|&t| t > 0.0));
+    fn one_config_preset_runs_and_reports() {
+        let spec = one_config(ProtocolKind::Slow, 64, 8, 1, 10_000.0);
+        spec.validate().unwrap();
+        let artifact = run_experiment(&spec).unwrap();
+        let config = &artifact.configs[0];
+        assert_eq!(config.failures, 0);
+        let times = times_of(config);
+        assert_eq!(times.len(), 8);
+        assert!(times.iter().all(|&t| t > 0.0));
+        assert_eq!(metric_of(config, "leaders"), vec![1.0; 8]);
     }
 
     #[test]
-    fn measure_convergence_reports_budget_failures() {
-        let stats = measure_convergence(|_| SlowLe, 256, 4, 0.5, 1);
-        assert_eq!(stats.failures, 4);
-    }
-
-    #[test]
-    fn observed_states_counts_both_slow_states() {
-        let k = observed_states(|_| SlowLe, 64, 10_000.0, 3);
-        assert_eq!(k, 2);
+    fn presets_report_budget_failures() {
+        let spec = one_config(ProtocolKind::Slow, 256, 4, 1, 0.5);
+        let artifact = run_experiment(&spec).unwrap();
+        assert_eq!(artifact.configs[0].failures, 4);
+        assert!(times_of(&artifact.configs[0]).is_empty());
     }
 
     #[test]

@@ -102,3 +102,34 @@ proptest! {
         }
     }
 }
+
+/// The population's round counters form a tight circular window: the
+/// clock rounds are equivalence classes, nobody lags more than a couple
+/// of rounds behind the frontier (Theorem 3.2's synchronisation claim —
+/// previously measured by the `clock` bench's spread panel, pinned here
+/// as a structural invariant).
+#[test]
+fn rounds_stay_in_sync() {
+    use components::clock_protocol::{round_spread, ClockProtocol, ROUND_MOD};
+    use ppsim::{AgentSim, Simulator};
+
+    let n = 1u64 << 10;
+    let proto = ClockProtocol::new(n, 32);
+    let mut sim = AgentSim::new(proto, n as usize, 61);
+    // Warm up past the partition/race transient, then watch several
+    // rounds' worth of interactions.
+    sim.steps(50 * n);
+    let mut worst = 0u8;
+    for _ in 0..200 {
+        sim.steps(n / 4);
+        let mut occupied = [false; ROUND_MOD as usize];
+        for s in sim.states() {
+            occupied[s.rounds as usize] = true;
+        }
+        worst = worst.max(round_spread(&occupied));
+    }
+    assert!(
+        worst <= 3,
+        "population smeared across rounds: spread {worst}"
+    );
+}

@@ -161,6 +161,21 @@ impl Protocol for Gsu19 {
             _ => Output::Follower,
         }
     }
+
+    /// Epochs are the fast-elimination countdown: a leader with counter
+    /// `cnt` is `cnt_init − cnt` epochs in (0 = the initial partition
+    /// epoch, `cnt_init` = the final elimination epoch). Non-leader states
+    /// carry no epoch information. The countdown is lockstep across the
+    /// leader sub-population (pinned by `countdown_reaches_zero_in_lockstep`
+    /// in `tests/epochs.rs`), so the population maximum that
+    /// [`ppsim::Simulator::current_epoch`] reports is the epoch the
+    /// configuration has entered.
+    fn epoch_of(&self, s: AgentState) -> Option<u32> {
+        match s.role {
+            Role::L { cnt, .. } => Some(self.params.cnt_init().saturating_sub(cnt) as u32),
+            _ => None,
+        }
+    }
 }
 
 impl EnumerableProtocol for Gsu19 {

@@ -25,11 +25,21 @@
 //!     }],
 //!     "aggregates": {"time": {"count": 8, "mean": ..., "std": ...,
 //!                             "ci95": ..., "min": ..., "max": ...,
-//!                             "q25": ..., "median": ..., "q75": ...}},
-//!     "survival": {"t": [..], "v": [..]}  // iff stop = stabilize
+//!                             "q25": ..., "median": ..., "q75": ...,
+//!                             "quantiles": "exact" | "p2"}},
+//!     "mean_traces": {"leaders": {"t": [..], "v": [..]}},  // iff traces
+//!     "survival": {"t": [..], "v": [..]}  // iff budgeted stop
 //!   }]
 //! }
 //! ```
+//!
+//! `quantiles` records the provenance of `q25`/`median`/`q75`: `"exact"`
+//! below five samples, `"p2"` (Jain–Chlamtac streaming estimates) from
+//! five on — downstream consumers that need exact quantiles at larger
+//! counts can always recompute them from the embedded per-trial metrics.
+//! `mean_traces` is the pointwise mean of the per-trial trace series
+//! (sound because every trial samples on a shared deterministic grid;
+//! [`Series::mean_of`] asserts alignment).
 
 use ppsim::trace::Series;
 
@@ -37,6 +47,25 @@ use crate::aggregate::{survival_curve, OnlineStats, P2Quantile};
 use crate::json::Json;
 use crate::registry::{ProtocolKind, TrialOutcome};
 use crate::spec::{ExperimentSpec, StopCondition};
+
+/// How a [`MetricAggregate`]'s quantile columns were computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantileKind {
+    /// Computed exactly from the stored sample (fewer than five values).
+    Exact,
+    /// Jain–Chlamtac P² streaming estimates (five values or more).
+    P2,
+}
+
+impl QuantileKind {
+    /// Canonical name, as emitted in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantileKind::Exact => "exact",
+            QuantileKind::P2 => "p2",
+        }
+    }
+}
 
 /// Current artifact schema tag.
 pub const SCHEMA: &str = "ppexp/v1";
@@ -87,6 +116,50 @@ impl TrialRecord {
         }
         Json::Obj(fields)
     }
+
+    /// Parse a record back from its [`TrialRecord::to_json`] form.
+    ///
+    /// Used by the trial cache ([`crate::cache`]); emission uses
+    /// shortest-round-trip floats, so `from_json(to_json(r)) == r`
+    /// bit-exactly for finite values. Returns `None` on any shape
+    /// mismatch.
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        let trial = doc.get("trial")?.as_u64()? as usize;
+        let seed = doc.get("seed")?.as_u64()?;
+        let converged = doc.get("converged")?.as_bool()?;
+        let metrics = doc
+            .get("metrics")?
+            .as_obj()?
+            .iter()
+            .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        let traces = match doc.get("traces") {
+            None => Vec::new(),
+            Some(traces) => traces
+                .as_obj()?
+                .iter()
+                .map(|(name, s)| {
+                    let axis = |key: &str| -> Option<Vec<f64>> {
+                        s.get(key)?.as_arr()?.iter().map(Json::as_f64).collect()
+                    };
+                    Some(Series {
+                        name: name.clone(),
+                        t: axis("t")?,
+                        v: axis("v")?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        };
+        Some(Self {
+            trial,
+            seed,
+            outcome: TrialOutcome {
+                converged,
+                metrics,
+                traces,
+            },
+        })
+    }
 }
 
 /// Aggregate of one metric over the converged trials of a config.
@@ -101,6 +174,8 @@ pub struct MetricAggregate {
     pub q25: f64,
     pub median: f64,
     pub q75: f64,
+    /// Provenance of the three quantile columns.
+    pub quantiles: QuantileKind,
 }
 
 /// Results of one (protocol, n) grid point.
@@ -116,7 +191,11 @@ pub struct ConfigResult {
     pub trials: Vec<TrialRecord>,
     /// Per-metric aggregates over converged trials, in metric order.
     pub aggregates: Vec<(String, MetricAggregate)>,
-    /// Survival curve of stabilisation time (stabilize studies only).
+    /// Pointwise mean of the per-trial trace series, one per series name
+    /// (empty when the spec records no traces). Sound because all trials
+    /// of a config sample on the same deterministic grid.
+    pub mean_traces: Vec<Series>,
+    /// Survival curve of the stopping time (budgeted stops only).
     pub survival: Option<Series>,
 }
 
@@ -178,15 +257,42 @@ impl ConfigResult {
                         q25: q25.value(),
                         median: median.value(),
                         q75: q75.value(),
+                        quantiles: if acc.count() >= 5 {
+                            QuantileKind::P2
+                        } else {
+                            QuantileKind::Exact
+                        },
                     },
                 )
             })
             .collect();
-        let survival = match stop {
-            StopCondition::Stabilize { .. } if !trials.is_empty() => {
-                Some(survival_curve(&times, trials.len()))
+        // Mean traces: every trial records the same series (by name, in
+        // order) on a shared grid; average pointwise across all trials —
+        // including censored ones, whose trajectories are valid up to
+        // where they stopped (`mean_of` handles the ragged tails).
+        let mut mean_traces: Vec<Series> = Vec::new();
+        if let Some(first) = trials.iter().find(|r| !r.outcome.traces.is_empty()) {
+            for (k, series) in first.outcome.traces.iter().enumerate() {
+                let group: Vec<Series> = trials
+                    .iter()
+                    .filter_map(|r| r.outcome.traces.get(k))
+                    .filter(|s| {
+                        debug_assert_eq!(s.name, series.name, "trials disagree on trace order");
+                        !s.is_empty()
+                    })
+                    .cloned()
+                    .collect();
+                if !group.is_empty() {
+                    let mut mean = Series::mean_of(&group);
+                    mean.name = series.name.clone();
+                    mean_traces.push(mean);
+                }
             }
-            _ => None,
+        }
+        let survival = if stop.has_survival() && !trials.is_empty() {
+            Some(survival_curve(&times, trials.len()))
+        } else {
+            None
         };
         Self {
             protocol,
@@ -195,6 +301,7 @@ impl ConfigResult {
             failures,
             trials,
             aggregates,
+            mean_traces,
             survival,
         }
     }
@@ -241,19 +348,31 @@ impl Artifact {
         self.to_json().emit_pretty()
     }
 
-    /// Long-format CSV: one row per (config, trial, metric).
+    /// Long-format CSV: one row per (config, trial, metric) scalar, then
+    /// one row per mean-trace sample (`trial` column `mean`, the sample
+    /// time in `t`). Scalar rows leave `t` empty.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("config,protocol,n,trial,seed,converged,metric,value\n");
+        let mut out = String::from("config,protocol,n,trial,seed,converged,metric,t,value\n");
         for (ci, config) in self.configs.iter().enumerate() {
             for record in &config.trials {
                 for (name, value) in &record.outcome.metrics {
                     out.push_str(&format!(
-                        "{ci},{},{},{},{},{},{name},{value:?}\n",
+                        "{ci},{},{},{},{},{},{name},,{value:?}\n",
                         config.protocol.name(),
                         config.n,
                         record.trial,
                         record.seed,
                         record.outcome.converged,
+                    ));
+                }
+            }
+            for series in &config.mean_traces {
+                for (t, v) in series.t.iter().zip(&series.v) {
+                    out.push_str(&format!(
+                        "{ci},{},{},mean,,,{},{t:?},{v:?}\n",
+                        config.protocol.name(),
+                        config.n,
+                        series.name,
                     ));
                 }
             }
@@ -291,6 +410,22 @@ impl Artifact {
                 return Err(format!("spec missing '{key}'"));
             }
         }
+        // round_every/init/gamma/phi/psi joined the spec after the first
+        // ppexp/v1 artifacts shipped; they are optional so early-v1 files
+        // keep validating, but malformed values are still rejected.
+        if let Some(v) = spec.get("round_every") {
+            v.as_f64().ok_or("spec.round_every is not a number")?;
+        }
+        if let Some(v) = spec.get("init") {
+            let init = v.as_str().ok_or("spec.init is not a string")?;
+            crate::spec::InitConfig::parse(init).map_err(|e| format!("spec.init invalid: {e}"))?;
+        }
+        for key in ["gamma", "phi", "psi"] {
+            if let Some(v) = spec.get(key) {
+                v.as_u64()
+                    .ok_or_else(|| format!("spec.{key} is not an integer"))?;
+            }
+        }
         let declared_trials = spec
             .get("trials")
             .and_then(Json::as_u64)
@@ -298,8 +433,27 @@ impl Artifact {
         spec.get("stop")
             .and_then(|s| s.get("kind"))
             .and_then(Json::as_str)
-            .filter(|k| matches!(*k, "stabilize" | "horizon"))
-            .ok_or("spec.stop.kind is not stabilize|horizon")?;
+            .filter(|k| matches!(*k, "stabilize" | "horizon" | "drag" | "active" | "settled"))
+            .ok_or("spec.stop.kind is not stabilize|horizon|drag|active|settled")?;
+        // Early-v1 artifacts carried the observable level as a string
+        // ("core" | "census"); the registry form is an array of names.
+        match spec.get("observables") {
+            Some(Json::Str(level)) => {
+                crate::observe::Observables::parse(level)
+                    .map_err(|e| format!("spec.observables invalid: {e}"))?;
+            }
+            Some(Json::Arr(names)) => {
+                for name in names {
+                    let name = name
+                        .as_str()
+                        .ok_or("spec.observables entry is not a string")?;
+                    if crate::observe::ObservableKind::parse(name).is_none() {
+                        return Err(format!("unregistered observable '{name}'"));
+                    }
+                }
+            }
+            _ => return Err("spec.observables is not an array or level string".into()),
+        }
 
         let configs = doc
             .get("configs")
@@ -377,6 +531,32 @@ impl Artifact {
                         return Err(format!("{ctx}: aggregate '{metric}' missing '{key}'"));
                     }
                 }
+                // Optional (absent in early-v1 artifacts), but a present
+                // provenance tag must be one of the two known values.
+                if let Some(q) = agg.get("quantiles") {
+                    q.as_str()
+                        .filter(|q| matches!(*q, "exact" | "p2"))
+                        .ok_or_else(|| {
+                            format!("{ctx}: aggregate '{metric}' quantiles is not exact|p2")
+                        })?;
+                }
+            }
+            if let Some(mean_traces) = config.get("mean_traces") {
+                let series = mean_traces
+                    .as_obj()
+                    .ok_or_else(|| format!("{ctx}: mean_traces is not an object"))?;
+                for (name, s) in series {
+                    let t = s.get("t").and_then(Json::as_arr);
+                    let v = s.get("v").and_then(Json::as_arr);
+                    match (t, v) {
+                        (Some(t), Some(v)) if t.len() == v.len() => {}
+                        _ => {
+                            return Err(format!(
+                                "{ctx}: mean trace '{name}' is not an aligned t/v series"
+                            ))
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -414,6 +594,7 @@ fn config_json(config: &ConfigResult) -> Json {
                     ("q25".into(), Json::Num(a.q25)),
                     ("median".into(), Json::Num(a.median)),
                     ("q75".into(), Json::Num(a.q75)),
+                    ("quantiles".into(), Json::Str(a.quantiles.name().into())),
                 ]),
             )
         })
@@ -426,6 +607,18 @@ fn config_json(config: &ConfigResult) -> Json {
         ("trials".into(), Json::Arr(trials)),
         ("aggregates".into(), Json::Obj(aggregates)),
     ];
+    if !config.mean_traces.is_empty() {
+        fields.push((
+            "mean_traces".into(),
+            Json::Obj(
+                config
+                    .mean_traces
+                    .iter()
+                    .map(|s| (s.name.clone(), series_json(s)))
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(survival) = &config.survival {
         fields.push(("survival".into(), series_json(survival)));
     }

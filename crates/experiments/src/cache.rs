@@ -1,0 +1,298 @@
+//! Content-addressed trial cache: incremental re-runs of widened specs.
+//!
+//! Every trial of an experiment is addressed by two values:
+//!
+//! * the **config identity** — the canonical JSON of everything that
+//!   affects a single trial of one grid point (protocol, n, engine,
+//!   effective batch policy, stop, observables, sample points, round
+//!   grid, init, parameter overrides). Deliberately *excluded*: the
+//!   trial count, the master seed, the other grid points and the thread
+//!   count — none of them changes what one trial computes;
+//! * the **trial seed** — already a content address: `split_seed(seed,
+//!   config) → split_seed(config_seed, trial)` encodes the master seed
+//!   and the trial's grid position.
+//!
+//! A cached trial is the [`TrialRecord`] JSON (the exact shape embedded
+//! in artifacts), stored under
+//! `<dir>/<config-hash>/<trial-seed>.json` with the canonical identity
+//! in `<dir>/<config-hash>/config.json` (verified on read, so a hash
+//! collision degrades to a miss instead of serving a wrong record).
+//! Emission uses shortest-round-trip floats, so a parse/emit cycle is
+//! bit-exact and warm artifacts are **byte-identical** to cold ones —
+//! `tests/experiment_determinism.rs` pins this.
+//!
+//! Editing any spec field that enters the identity changes the hash (no
+//! stale hits); widening `trials` or appending grid points reuses every
+//! trial whose seed chain is unchanged.
+
+use std::path::{Path, PathBuf};
+
+use crate::artifact::TrialRecord;
+use crate::json;
+use crate::json::Json;
+use crate::registry::ProtocolKind;
+use crate::spec::{EngineKind, ExperimentSpec};
+
+/// Hit/miss counters of one cached run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Trials served from the cache.
+    pub hits: usize,
+    /// Trials computed (and stored) fresh.
+    pub misses: usize,
+}
+
+/// A content-addressed trial cache rooted at a directory.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The default location, `target/ppexp-cache/` relative to the
+    /// working directory.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/ppexp-cache")
+    }
+
+    /// Root directory of this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical identity of one (protocol, n) config under `spec` — the
+    /// exact string that is hashed into the cache address.
+    pub fn config_identity(spec: &ExperimentSpec, protocol: ProtocolKind, n: u64) -> String {
+        // The batch policy only shapes trials on the batched engine;
+        // canonicalise so flipping `batch_shift` under other engines does
+        // not invalidate their entries.
+        let policy = match spec.engine {
+            EngineKind::UrnBatched => format!("batched:{}", spec.batch_shift),
+            _ => "per-step".into(),
+        };
+        Json::Obj(vec![
+            ("protocol".into(), Json::Str(protocol.name().into())),
+            ("n".into(), Json::Uint(n)),
+            ("engine".into(), Json::Str(spec.engine.name().into())),
+            ("compiled".into(), Json::Bool(spec.compiled)),
+            ("policy".into(), Json::Str(policy)),
+            ("stop".into(), spec.stop.to_json()),
+            (
+                "observables".into(),
+                Json::Str(spec.observables.canonical()),
+            ),
+            (
+                "sample_at".into(),
+                Json::Arr(spec.sample_at.iter().map(|&t| Json::Num(t)).collect()),
+            ),
+            ("round_every".into(), Json::Num(spec.round_every)),
+            ("init".into(), Json::Str(spec.init.canonical())),
+            ("gamma".into(), Json::Uint(spec.gamma as u64)),
+            ("phi".into(), Json::Uint(spec.phi as u64)),
+            ("psi".into(), Json::Uint(spec.psi as u64)),
+        ])
+        .emit()
+    }
+
+    /// Content hash of a config identity (FNV-1a 64 — stable across
+    /// builds and platforms, unlike `DefaultHasher`).
+    pub fn config_hash(identity: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in identity.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn config_dir(&self, identity: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}", Self::config_hash(identity)))
+    }
+
+    /// Open one config's slice of the cache, verifying the stored
+    /// identity **once** (the engine looks up every trial of a config;
+    /// re-reading `config.json` per trial would be N redundant reads).
+    pub fn config(&self, identity: &str) -> ConfigCache {
+        let dir = self.config_dir(identity);
+        // Absent config.json means nothing stored yet: loads miss and
+        // the first store writes it. A present-but-different one is a
+        // genuine 64-bit hash collision: serve nothing, store nothing.
+        let collided = match std::fs::read_to_string(dir.join("config.json")) {
+            Ok(stored) => stored != identity,
+            Err(_) => false,
+        };
+        ConfigCache {
+            dir,
+            identity: identity.to_string(),
+            collided,
+        }
+    }
+
+    /// Look up the record of the trial with `seed` under `identity`
+    /// (one-shot form of [`Cache::config`] + [`ConfigCache::load`]).
+    pub fn load(&self, identity: &str, seed: u64) -> Option<TrialRecord> {
+        self.config(identity).load(seed)
+    }
+
+    /// Store a trial record under `identity` (one-shot form of
+    /// [`Cache::config`] + [`ConfigCache::store`]).
+    pub fn store(&self, identity: &str, record: &TrialRecord) -> Result<(), String> {
+        self.config(identity).store(record)
+    }
+}
+
+/// One config's verified slice of a [`Cache`].
+pub struct ConfigCache {
+    dir: PathBuf,
+    identity: String,
+    collided: bool,
+}
+
+impl ConfigCache {
+    /// Look up the record of the trial with `seed`.
+    ///
+    /// Returns `None` on any miss: absent entry, unreadable or
+    /// unparsable file, identity mismatch (hash collision), or a stored
+    /// seed that disagrees with the address.
+    pub fn load(&self, seed: u64) -> Option<TrialRecord> {
+        if self.collided {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.dir.join(format!("{seed:016x}.json"))).ok()?;
+        let record = TrialRecord::from_json(&json::parse(&text).ok()?)?;
+        (record.seed == seed).then_some(record)
+    }
+
+    /// Store a trial record. I/O errors are reported, not fatal — a
+    /// read-only cache directory degrades to a no-op.
+    pub fn store(&self, record: &TrialRecord) -> Result<(), String> {
+        if self.collided {
+            // Leave the incumbent alone.
+            return Err(format!(
+                "cache hash collision under {} — not storing",
+                self.dir.display()
+            ));
+        }
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
+        let config_path = self.dir.join("config.json");
+        if std::fs::read_to_string(&config_path).is_err() {
+            write_atomic(&config_path, &self.identity)?;
+        }
+        let path = self.dir.join(format!("{:016x}.json", record.seed));
+        write_atomic(&path, &record.to_json().emit())
+    }
+}
+
+/// Write via a temp file + rename, so concurrent runs never observe a
+/// half-written record.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {}: {e}", tmp.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::TrialOutcome;
+
+    fn tmp_cache(tag: &str) -> Cache {
+        let dir =
+            std::env::temp_dir().join(format!("ppexp-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::at(dir)
+    }
+
+    fn record(seed: u64) -> TrialRecord {
+        TrialRecord {
+            trial: 3,
+            seed,
+            outcome: TrialOutcome {
+                converged: true,
+                metrics: vec![("time".into(), 41.5), ("leaders".into(), 1.0)],
+                traces: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = tmp_cache("roundtrip");
+        let spec = ExperimentSpec::default();
+        let id = Cache::config_identity(&spec, ProtocolKind::Gsu19, 1 << 12);
+        let rec = record(0xDEAD_BEEF);
+        assert!(cache.load(&id, rec.seed).is_none());
+        cache.store(&id, &rec).unwrap();
+        assert_eq!(cache.load(&id, rec.seed), Some(rec.clone()));
+        // A different seed under the same config misses.
+        assert!(cache.load(&id, 1).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn identity_tracks_result_shaping_fields_only() {
+        let base = ExperimentSpec::default();
+        let id = |spec: &ExperimentSpec| Cache::config_identity(spec, ProtocolKind::Gsu19, 4096);
+
+        // Result-shaping edits change the identity.
+        let mut s = base.clone();
+        s.stop = crate::spec::StopCondition::Stabilize { budget_pt: 17.0 };
+        assert_ne!(id(&base), id(&s));
+        let mut s = base.clone();
+        s.observables = crate::observe::Observables::parse("census").unwrap();
+        assert_ne!(id(&base), id(&s));
+        let mut s = base.clone();
+        s.round_every = 0.5;
+        assert_ne!(id(&base), id(&s));
+        let mut s = base.clone();
+        s.gamma = 32;
+        assert_ne!(id(&base), id(&s));
+
+        // Plan-shaping edits do not.
+        let mut s = base.clone();
+        s.trials = 999;
+        s.threads = 7;
+        s.ns = vec![4096, 8192];
+        assert_eq!(id(&base), id(&s));
+        // batch_shift is inert off the batched engine...
+        let mut s = base.clone();
+        s.batch_shift = 9;
+        assert_eq!(id(&base), id(&s));
+        // ...and part of the identity on it.
+        let mut batched = base.clone();
+        batched.engine = EngineKind::UrnBatched;
+        let mut shifted = batched.clone();
+        shifted.batch_shift = 9;
+        assert_ne!(id(&batched), id(&shifted));
+    }
+
+    #[test]
+    fn corrupted_entries_degrade_to_misses() {
+        let cache = tmp_cache("corrupt");
+        let spec = ExperimentSpec::default();
+        let id = Cache::config_identity(&spec, ProtocolKind::Slow, 64);
+        let rec = record(7);
+        cache.store(&id, &rec).unwrap();
+        let path = cache
+            .dir()
+            .join(format!("{:016x}", Cache::config_hash(&id)))
+            .join(format!("{:016x}.json", 7u64));
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(cache.load(&id, 7).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        // Pinned value: the on-disk layout must not drift between builds.
+        assert_eq!(Cache::config_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Cache::config_hash("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -9,11 +9,13 @@
 //! be replayed bit-identically from its `(seed, config, trial)` address.
 
 use ppsim::parallel::{default_threads, run_trials_threads};
-use ppsim::rng::split_seed;
+use ppsim::rng::{split_seed, trial_seeds};
 
 use crate::artifact::{Artifact, ConfigResult, TrialRecord};
-use crate::registry::{ProtocolKind, RunShape, Runnable};
-use crate::spec::{ExperimentSpec, ObservableSet};
+use crate::cache::{Cache, CacheStats};
+use crate::observe::RunShape;
+use crate::registry::{ProtocolKind, Runnable};
+use crate::spec::ExperimentSpec;
 
 /// The expanded config grid of a spec: `protocols × ns`, protocol-major
 /// (config index `p * ns.len() + i`).
@@ -31,30 +33,89 @@ pub fn config_grid(spec: &ExperimentSpec) -> Vec<(ProtocolKind, u64)> {
 /// (`spec.threads`, `0` = the `PPSIM_THREADS` environment variable or the
 /// machine's parallelism), and aggregates results online.
 pub fn run_experiment(spec: &ExperimentSpec) -> Result<Artifact, String> {
+    run_experiment_cached(spec, None).map(|(artifact, _)| artifact)
+}
+
+/// Execute a whole experiment through an optional trial cache.
+///
+/// With a cache, each trial is first looked up by its content address
+/// (config identity × trial seed, see [`Cache`]); only the misses run,
+/// and fresh results are stored back. Because cached records round-trip
+/// bit-exactly, the artifact is **byte-identical** whether it came from a
+/// cold run, a warm one, or any mixture — widening `trials` or the `n`
+/// grid recomputes only the new work.
+pub fn run_experiment_cached(
+    spec: &ExperimentSpec,
+    cache: Option<&Cache>,
+) -> Result<(Artifact, CacheStats), String> {
     spec.validate()?;
     let threads = if spec.threads == 0 {
         default_threads()
     } else {
         spec.threads
     };
-    let census = spec.observables == ObservableSet::Census;
     let shape = RunShape {
         engine: spec.engine,
         policy: spec.batch_policy(),
         stop: spec.stop,
         sample_at: &spec.sample_at,
+        observables: &spec.observables,
+        round_every: spec.round_every,
     };
+    let mut stats = CacheStats::default();
     let mut configs = Vec::new();
     for (index, (protocol, n)) in config_grid(spec).into_iter().enumerate() {
-        let runnable = Runnable::build(protocol, n, spec.compiled)?;
         let config_seed = split_seed(spec.seed, index as u64);
-        let trials = run_trials_threads(spec.trials, config_seed, threads, |trial, seed| {
-            TrialRecord {
-                trial,
-                seed,
-                outcome: runnable.run(n, seed, &shape, census),
+        let seeds = trial_seeds(config_seed, spec.trials);
+        let mut records: Vec<Option<TrialRecord>> = vec![None; spec.trials];
+        let mut missing: Vec<usize> = Vec::new();
+        // Verify the config's cache identity once, not once per trial.
+        let config_cache =
+            cache.map(|cache| cache.config(&Cache::config_identity(spec, protocol, n)));
+        if let Some(config_cache) = &config_cache {
+            for (trial, slot) in records.iter_mut().enumerate() {
+                match config_cache.load(seeds[trial]) {
+                    Some(mut record) => {
+                        // The stored index reflects the storing spec's
+                        // grid; this spec's address is authoritative.
+                        record.trial = trial;
+                        *slot = Some(record);
+                        stats.hits += 1;
+                    }
+                    None => missing.push(trial),
+                }
             }
-        });
+        } else {
+            missing.extend(0..spec.trials);
+        }
+        stats.misses += missing.len();
+
+        if !missing.is_empty() {
+            let runnable = Runnable::build(protocol, n, spec)?;
+            let fresh = run_trials_threads(missing.len(), 0, threads, |i, _| {
+                let trial = missing[i];
+                let seed = seeds[trial];
+                TrialRecord {
+                    trial,
+                    seed,
+                    outcome: runnable.run(n, seed, &shape, &spec.init),
+                }
+            });
+            for record in fresh {
+                if let Some(config_cache) = &config_cache {
+                    if let Err(e) = config_cache.store(&record) {
+                        eprintln!("warning: {e}");
+                    }
+                }
+                let trial = record.trial;
+                records[trial] = Some(record);
+            }
+        }
+
+        let trials: Vec<TrialRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every trial either cached or freshly run"))
+            .collect();
         configs.push(ConfigResult::collect(
             protocol,
             n,
@@ -63,10 +124,13 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<Artifact, String> {
             spec.stop,
         ));
     }
-    Ok(Artifact {
-        spec: spec.clone(),
-        configs,
-    })
+    Ok((
+        Artifact {
+            spec: spec.clone(),
+            configs,
+        },
+        stats,
+    ))
 }
 
 /// Re-run a single trial of a spec, bit-identically.
@@ -91,7 +155,7 @@ pub fn replay_trial(
             spec.trials
         ));
     }
-    let runnable = Runnable::build(protocol, n, spec.compiled)?;
+    let runnable = Runnable::build(protocol, n, spec)?;
     let config_seed = split_seed(spec.seed, config as u64);
     let seed = split_seed(config_seed, trial as u64);
     let shape = RunShape {
@@ -99,11 +163,13 @@ pub fn replay_trial(
         policy: spec.batch_policy(),
         stop: spec.stop,
         sample_at: &spec.sample_at,
+        observables: &spec.observables,
+        round_every: spec.round_every,
     };
     Ok(TrialRecord {
         trial,
         seed,
-        outcome: runnable.run(n, seed, &shape, spec.observables == ObservableSet::Census),
+        outcome: runnable.run(n, seed, &shape, &spec.init),
     })
 }
 
@@ -111,6 +177,14 @@ pub fn replay_trial(
 mod tests {
     use super::*;
     use crate::spec::{EngineKind, StopCondition};
+    use ppsim::trace::Series;
+
+    fn tmp_cache(tag: &str) -> Cache {
+        let dir =
+            std::env::temp_dir().join(format!("ppexp-engine-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::at(dir)
+    }
 
     fn tiny_spec() -> ExperimentSpec {
         ExperimentSpec {
@@ -210,7 +284,7 @@ mod tests {
         spec.protocols = vec![ProtocolKind::Gsu19];
         spec.ns = vec![128];
         spec.engine = EngineKind::Urn;
-        spec.observables = ObservableSet::Census;
+        spec.observables = crate::observe::Observables::parse("census").unwrap();
         spec.stop = StopCondition::Horizon { at_pt: 10.0 };
         spec.sample_at = vec![2.0, 10.0];
         let artifact = run_experiment(&spec).unwrap();
@@ -225,10 +299,165 @@ mod tests {
             .unwrap()[0];
         let leaders = trial.get("traces").unwrap().get("leaders").unwrap();
         assert_eq!(leaders.get("t").unwrap().as_arr().unwrap().len(), 2);
-        // CSV has one row per (trial, metric) plus the header.
+        // Mean traces aggregate the per-trial series on the shared grid.
+        let config = &artifact.configs[0];
+        assert!(!config.mean_traces.is_empty());
+        let mean_leaders = config
+            .mean_traces
+            .iter()
+            .find(|s| s.name == "leaders")
+            .expect("mean trace per series");
+        assert_eq!(mean_leaders.t, vec![2.0, 10.0]);
+        let by_hand: Vec<f64> = (0..2)
+            .map(|k| {
+                let vals: Vec<f64> = config
+                    .trials
+                    .iter()
+                    .map(|r| {
+                        let s = r
+                            .outcome
+                            .traces
+                            .iter()
+                            .find(|s| s.name == "leaders")
+                            .unwrap();
+                        s.v[k]
+                    })
+                    .collect();
+                ppsim::mean(&vals)
+            })
+            .collect();
+        assert_eq!(mean_leaders.v, by_hand);
+        // CSV: one row per (trial, metric) plus one per mean-trace sample
+        // plus the header.
         let csv = artifact.to_csv();
         let metric_count = artifact.configs[0].trials[0].outcome.metrics.len();
-        assert_eq!(csv.lines().count(), 1 + spec.trials * metric_count);
+        let trace_rows: usize = config.mean_traces.iter().map(Series::len).sum();
+        assert_eq!(
+            csv.lines().count(),
+            1 + spec.trials * metric_count + trace_rows
+        );
+    }
+
+    #[test]
+    fn cold_and_warm_cached_runs_are_byte_identical() {
+        let cache = tmp_cache("warmcold");
+        let spec = tiny_spec();
+        let uncached = run_experiment(&spec).unwrap().to_json_string();
+        let (cold, cold_stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        let (warm, warm_stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        let total = spec.trials * config_grid(&spec).len();
+        assert_eq!(
+            cold_stats,
+            CacheStats {
+                hits: 0,
+                misses: total
+            }
+        );
+        assert_eq!(
+            warm_stats,
+            CacheStats {
+                hits: total,
+                misses: 0
+            }
+        );
+        assert_eq!(cold.to_json_string(), uncached);
+        assert_eq!(warm.to_json_string(), uncached);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn widening_trials_and_grid_reuses_the_prefix() {
+        let cache = tmp_cache("widen");
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolKind::Slow];
+        spec.ns = vec![64];
+        let (_, stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        assert_eq!(stats.misses, spec.trials);
+
+        // More trials: the original ones hit, only the new ones run.
+        let old_trials = spec.trials;
+        spec.trials = 7;
+        let (artifact, stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        assert_eq!(stats.hits, old_trials);
+        assert_eq!(stats.misses, spec.trials - old_trials);
+        // And the widened artifact matches an uncached run exactly.
+        assert_eq!(
+            artifact.to_json_string(),
+            run_experiment(&spec).unwrap().to_json_string()
+        );
+
+        // Appending a grid point reuses every existing config's trials.
+        spec.ns = vec![64, 128];
+        let (_, stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        assert_eq!(stats.hits, spec.trials);
+        assert_eq!(stats.misses, spec.trials);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn spec_edits_change_the_config_address() {
+        let cache = tmp_cache("edits");
+        let mut spec = tiny_spec();
+        spec.protocols = vec![ProtocolKind::Slow];
+        spec.ns = vec![64];
+        let (_, stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        assert_eq!(stats.hits, 0);
+        // A result-shaping edit: no stale hits.
+        spec.stop = StopCondition::Stabilize {
+            budget_pt: 19_999.0,
+        };
+        let (_, stats) = run_experiment_cached(&spec, Some(&cache)).unwrap();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, spec.trials);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn validator_accepts_early_v1_artifacts() {
+        // The first ppexp/v1 artifacts carried `observables` as a level
+        // string and predate round_every/init/gamma/phi/psi and the
+        // aggregate `quantiles` tag; they must keep validating.
+        let artifact = run_experiment(&tiny_spec()).unwrap();
+        let mut doc = crate::json::parse(&artifact.to_json_string()).unwrap();
+        let crate::json::Json::Obj(fields) = &mut doc else {
+            panic!("artifact root is an object");
+        };
+        for (key, value) in fields.iter_mut() {
+            match (key.as_str(), value) {
+                ("spec", crate::json::Json::Obj(spec)) => {
+                    spec.retain(|(k, _)| {
+                        !matches!(k.as_str(), "round_every" | "init" | "gamma" | "phi" | "psi")
+                    });
+                    for (k, v) in spec.iter_mut() {
+                        if k == "observables" {
+                            *v = crate::json::Json::Str("core".into());
+                        }
+                    }
+                }
+                ("configs", crate::json::Json::Arr(configs)) => {
+                    for config in configs {
+                        let crate::json::Json::Obj(cf) = config else {
+                            continue;
+                        };
+                        for (k, v) in cf.iter_mut() {
+                            if k != "aggregates" {
+                                continue;
+                            }
+                            let crate::json::Json::Obj(aggs) = v else {
+                                continue;
+                            };
+                            for (_, agg) in aggs.iter_mut() {
+                                if let crate::json::Json::Obj(af) = agg {
+                                    af.retain(|(k, _)| k != "quantiles");
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Artifact::validate_json(&doc).expect("early-v1 shape must stay valid");
     }
 
     #[test]

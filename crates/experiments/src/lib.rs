@@ -35,14 +35,18 @@
 
 pub mod aggregate;
 pub mod artifact;
+pub mod cache;
 pub mod engine;
 pub mod json;
+pub mod observe;
 pub mod registry;
 pub mod spec;
 
 pub use aggregate::{survival_curve, OnlineStats, P2Quantile};
 pub use artifact::{Artifact, ConfigResult, MetricAggregate, TrialRecord, SCHEMA};
-pub use engine::{config_grid, replay_trial, run_experiment};
+pub use cache::{Cache, CacheStats, ConfigCache};
+pub use engine::{config_grid, replay_trial, run_experiment, run_experiment_cached};
 pub use json::Json;
+pub use observe::{ObservableKind, Observables, Schedule};
 pub use registry::{ProtocolKind, TrialOutcome};
-pub use spec::{parse_n_grid, EngineKind, ExperimentSpec, ObservableSet, StopCondition};
+pub use spec::{parse_n_grid, EngineKind, ExperimentSpec, InitConfig, StopCondition};

@@ -11,6 +11,7 @@
 use ppsim::BatchPolicy;
 
 use crate::json::Json;
+use crate::observe::Observables;
 use crate::registry::ProtocolKind;
 
 /// Execution engine selector (mirrors `ppctl --engine`).
@@ -48,6 +49,12 @@ impl EngineKind {
 }
 
 /// When a trial stops.
+///
+/// `Stabilize` and `Horizon` work for every protocol. The census-based
+/// conditions (`DragReached`, `ActivesBelow`, `Settled`) require the
+/// gsu19 protocol family and are evaluated at round-grid granularity
+/// (`round_every · n · log₂ n` interactions), so their reported stopping
+/// times are quantised to that grid.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum StopCondition {
     /// Run until stably elected or the budget (in parallel time) expires.
@@ -60,34 +67,206 @@ pub enum StopCondition {
         /// Horizon, in parallel-time units.
         at_pt: f64,
     },
+    /// Run until the largest drag on an *active* candidate reaches
+    /// `level` (the Figure 3 / Lemma 7.2 studies), or the budget expires.
+    DragReached {
+        /// Target drag level.
+        level: u8,
+        /// Per-trial budget, in parallel-time units.
+        budget_pt: f64,
+    },
+    /// Run until roles are settled (no `0`/`X` agents) *and* at most
+    /// `count` active candidates remain (the Lemma 7.3 final-epoch
+    /// reduction), or the budget expires. The settled guard keeps a
+    /// fresh-start run — zero actives before any candidate exists — from
+    /// trivially stopping at t = 0.
+    ActivesBelow {
+        /// Active-candidate threshold (inclusive).
+        count: u64,
+        /// Per-trial budget, in parallel-time units.
+        budget_pt: f64,
+    },
+    /// Run until the configuration is *settled*: stably elected, or
+    /// terminally extinct (roles assigned, every candidate withdrawn —
+    /// the failure mode of the `gsu19-direct` ablation). Or the budget
+    /// expires.
+    Settled {
+        /// Per-trial budget, in parallel-time units.
+        budget_pt: f64,
+    },
 }
 
-/// Which per-trial metrics a trial records (beyond the core set of
-/// `time`/`interactions`/`leaders`/`undecided`).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ObservableSet {
-    /// Core metrics only — available for every protocol and engine.
-    Core,
-    /// Core plus a GSU19 census: role counts and the coin sub-population
-    /// sizes `C_ℓ` (`coins_ge{l}`). Requires every protocol to be `gsu19`.
-    Census,
-}
-
-impl ObservableSet {
-    fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "core" => Ok(ObservableSet::Core),
-            "census" => Ok(ObservableSet::Census),
-            other => Err(format!(
-                "unknown observables '{other}' (expected core | census)"
-            )),
+impl StopCondition {
+    /// Parse a spec value: `stabilize:BUDGET`, `horizon:AT`,
+    /// `drag:LEVEL:BUDGET`, `active:COUNT:BUDGET` or `settled:BUDGET`.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        let (kind, rest) = value.split_once(':').ok_or(
+            "stop takes 'stabilize:BUDGET' | 'horizon:AT' | 'drag:LEVEL:BUDGET' | \
+             'active:COUNT:BUDGET' | 'settled:BUDGET' (amounts in parallel time)",
+        )?;
+        let amount = |s: &str| -> Result<f64, String> {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("invalid stop amount '{s}'"))
+        };
+        match kind.trim() {
+            "stabilize" => Ok(StopCondition::Stabilize {
+                budget_pt: amount(rest)?,
+            }),
+            "horizon" => Ok(StopCondition::Horizon {
+                at_pt: amount(rest)?,
+            }),
+            "settled" => Ok(StopCondition::Settled {
+                budget_pt: amount(rest)?,
+            }),
+            "drag" => {
+                let (level, budget) = rest
+                    .split_once(':')
+                    .ok_or("stop = drag takes 'drag:LEVEL:BUDGET'")?;
+                Ok(StopCondition::DragReached {
+                    level: level
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid drag level '{level}'"))?,
+                    budget_pt: amount(budget)?,
+                })
+            }
+            "active" => {
+                let (count, budget) = rest
+                    .split_once(':')
+                    .ok_or("stop = active takes 'active:COUNT:BUDGET'")?;
+                Ok(StopCondition::ActivesBelow {
+                    count: count
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid active count '{count}'"))?,
+                    budget_pt: amount(budget)?,
+                })
+            }
+            other => Err(format!("unknown stop kind '{other}'")),
         }
     }
 
-    fn name(self) -> &'static str {
-        match self {
-            ObservableSet::Core => "core",
-            ObservableSet::Census => "census",
+    /// The per-trial budget in parallel-time units (the horizon itself
+    /// for `Horizon`).
+    pub fn budget_pt(&self) -> f64 {
+        match *self {
+            StopCondition::Stabilize { budget_pt }
+            | StopCondition::DragReached { budget_pt, .. }
+            | StopCondition::ActivesBelow { budget_pt, .. }
+            | StopCondition::Settled { budget_pt } => budget_pt,
+            StopCondition::Horizon { at_pt } => at_pt,
+        }
+    }
+
+    /// Whether the stopping predicate needs a GSU19 census.
+    pub fn needs_census(&self) -> bool {
+        matches!(
+            self,
+            StopCondition::DragReached { .. }
+                | StopCondition::ActivesBelow { .. }
+                | StopCondition::Settled { .. }
+        )
+    }
+
+    /// Whether a survival curve of the stopping time makes sense (every
+    /// budgeted event-time condition; not fixed horizons).
+    pub fn has_survival(&self) -> bool {
+        !matches!(self, StopCondition::Horizon { .. })
+    }
+
+    /// Canonical JSON form (embedded in artifacts).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            StopCondition::Stabilize { budget_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("stabilize".into())),
+                ("budget_pt".into(), Json::Num(budget_pt)),
+            ]),
+            StopCondition::Horizon { at_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("horizon".into())),
+                ("at_pt".into(), Json::Num(at_pt)),
+            ]),
+            StopCondition::DragReached { level, budget_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("drag".into())),
+                ("level".into(), Json::Uint(level as u64)),
+                ("budget_pt".into(), Json::Num(budget_pt)),
+            ]),
+            StopCondition::ActivesBelow { count, budget_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("active".into())),
+                ("count".into(), Json::Uint(count)),
+                ("budget_pt".into(), Json::Num(budget_pt)),
+            ]),
+            StopCondition::Settled { budget_pt } => Json::Obj(vec![
+                ("kind".into(), Json::Str("settled".into())),
+                ("budget_pt".into(), Json::Num(budget_pt)),
+            ]),
+        }
+    }
+}
+
+/// The initial configuration trials start from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InitConfig {
+    /// The standard model: every agent in the protocol's initial state.
+    Fresh,
+    /// A synthetic settled final-epoch configuration
+    /// (`core_protocol::synthetic::final_epoch_config`) with `k` active
+    /// candidates — the entry point of the Lemma 7.3 / ablation studies.
+    /// With `times_log2`, the actual count is `k · log₂ n` (rounded), so
+    /// one spec key covers the paper's `c · log n` entry counts across a
+    /// population grid. Requires the gsu19 protocol family.
+    FinalEpoch {
+        /// Active-candidate count (or multiplier, with `times_log2`).
+        k: u64,
+        /// Scale `k` by `log₂ n`.
+        times_log2: bool,
+    },
+}
+
+impl InitConfig {
+    /// Parse a spec value: `fresh`, `final-epoch:K` or `final-epoch:Klg`
+    /// (`K · log₂ n` actives).
+    pub fn parse(value: &str) -> Result<Self, String> {
+        if value.trim() == "fresh" {
+            return Ok(InitConfig::Fresh);
+        }
+        let Some(rest) = value.trim().strip_prefix("final-epoch:") else {
+            return Err(format!(
+                "unknown init '{value}' (expected fresh | final-epoch:K | final-epoch:Klg)"
+            ));
+        };
+        let (digits, times_log2) = match rest.strip_suffix("lg") {
+            Some(d) => (d, true),
+            None => (rest, false),
+        };
+        let k: u64 = digits
+            .parse()
+            .map_err(|_| format!("invalid init count '{rest}'"))?;
+        if k == 0 {
+            return Err("init needs at least one active candidate".into());
+        }
+        Ok(InitConfig::FinalEpoch { k, times_log2 })
+    }
+
+    /// Canonical spec-file value (inverse of [`InitConfig::parse`]).
+    pub fn canonical(&self) -> String {
+        match *self {
+            InitConfig::Fresh => "fresh".into(),
+            InitConfig::FinalEpoch { k, times_log2 } => {
+                format!("final-epoch:{k}{}", if times_log2 { "lg" } else { "" })
+            }
+        }
+    }
+
+    /// The concrete active-candidate count at population `n`.
+    pub fn actives_for(&self, n: u64) -> Option<u64> {
+        match *self {
+            InitConfig::Fresh => None,
+            InitConfig::FinalEpoch { k, times_log2 } => Some(if times_log2 {
+                ((k as f64 * (n as f64).log2()).round() as u64).max(1)
+            } else {
+                k
+            }),
         }
     }
 }
@@ -119,13 +298,26 @@ pub struct ExperimentSpec {
     pub batch_shift: u32,
     /// Stopping condition shared by every config.
     pub stop: StopCondition,
-    /// Per-trial metric set.
-    pub observables: ObservableSet,
+    /// Named observables from the registry ([`crate::observe`]); the
+    /// empty set records only `time`/`interactions`/`leaders`/`undecided`.
+    pub observables: Observables,
     /// Parallel times at which to sample every metric into per-trial
     /// trajectories ([`ppsim::trace::Series`]). Only valid with
     /// [`StopCondition::Horizon`]; must be ascending and within the
     /// horizon.
     pub sample_at: Vec<f64>,
+    /// Round-boundary spacing for round-scheduled observables and
+    /// census-based stops, in units of `n · log₂ n` interactions.
+    pub round_every: f64,
+    /// Initial configuration trials start from.
+    pub init: InitConfig,
+    /// Clock-modulus override (`0` = the derived `gamma_for(n)`); gsu19
+    /// family and the clock component.
+    pub gamma: u16,
+    /// Coin-level-cap override Φ (`0` = derived); gsu19 family only.
+    pub phi: u8,
+    /// Drag-cap override Ψ (`0` = derived); gsu19 family only.
+    pub psi: u8,
 }
 
 impl Default for ExperimentSpec {
@@ -142,8 +334,13 @@ impl Default for ExperimentSpec {
             stop: StopCondition::Stabilize {
                 budget_pt: 200_000.0,
             },
-            observables: ObservableSet::Core,
+            observables: Observables::none(),
             sample_at: Vec::new(),
+            round_every: 1.0,
+            init: InitConfig::Fresh,
+            gamma: 0,
+            phi: 0,
+            psi: 0,
         }
     }
 }
@@ -194,20 +391,7 @@ impl ExperimentSpec {
             "seed" => self.seed = parse_num(value, "seed")?,
             "threads" => self.threads = parse_num(value, "threads")?,
             "batch_shift" | "batch-shift" => self.batch_shift = parse_num(value, "batch_shift")?,
-            "stop" => {
-                let (kind, amount) = value
-                    .split_once(':')
-                    .ok_or("stop takes 'stabilize:BUDGET_PT' or 'horizon:AT_PT'")?;
-                let amount: f64 = amount
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("invalid stop amount '{amount}'"))?;
-                self.stop = match kind.trim() {
-                    "stabilize" => StopCondition::Stabilize { budget_pt: amount },
-                    "horizon" => StopCondition::Horizon { at_pt: amount },
-                    other => return Err(format!("unknown stop kind '{other}'")),
-                };
-            }
+            "stop" => self.stop = StopCondition::parse(value)?,
             "budget" => {
                 self.stop = StopCondition::Stabilize {
                     budget_pt: parse_num_f(value, "budget")?,
@@ -218,7 +402,12 @@ impl ExperimentSpec {
                     at_pt: parse_num_f(value, "at")?,
                 }
             }
-            "observables" => self.observables = ObservableSet::parse(value)?,
+            "observables" => self.observables = Observables::parse(value)?,
+            "round_every" | "round-every" => self.round_every = parse_num_f(value, "round_every")?,
+            "init" => self.init = InitConfig::parse(value)?,
+            "gamma" => self.gamma = parse_num(value, "gamma")?,
+            "phi" => self.phi = parse_num(value, "phi")?,
+            "psi" => self.psi = parse_num(value, "psi")?,
             "sample_at" | "sample-at" => {
                 self.sample_at = value
                     .split(',')
@@ -258,13 +447,75 @@ impl ExperimentSpec {
                 ));
             }
         }
-        if self.observables == ObservableSet::Census {
+        if self.observables.needs_census() || self.stop.needs_census() {
             if let Some(p) = self.protocols.iter().find(|p| !p.supports_census()) {
                 return Err(format!(
-                    "observables = census requires gsu19 (got '{}')",
+                    "census-based observables/stops require the gsu19 family (got '{}')",
                     p.name()
                 ));
             }
+        }
+        if self.observables.needs_epochs() {
+            if let Some(p) = self.protocols.iter().find(|p| !p.reports_epochs()) {
+                return Err(format!(
+                    "epoch observables require an epoch-reporting protocol (got '{}')",
+                    p.name()
+                ));
+            }
+        }
+        if self.init != InitConfig::Fresh {
+            if let Some(p) = self.protocols.iter().find(|p| !p.supports_census()) {
+                return Err(format!(
+                    "init = {} requires the gsu19 family (got '{}')",
+                    self.init.canonical(),
+                    p.name()
+                ));
+            }
+        }
+        if self.gamma != 0 {
+            if let Some(p) = self
+                .protocols
+                .iter()
+                .find(|p| !p.supports_census() && **p != ProtocolKind::Clock)
+            {
+                return Err(format!(
+                    "gamma override requires the gsu19 family or clock (got '{}')",
+                    p.name()
+                ));
+            }
+            // The clock construction needs well-defined halves and a wrap
+            // region (`Clock::new` asserts) — reject before it panics.
+            if self.gamma < 4 || !self.gamma.is_multiple_of(2) {
+                return Err(format!("gamma {} must be even and at least 4", self.gamma));
+            }
+        }
+        if self.phi != 0 || self.psi != 0 {
+            if let Some(p) = self.protocols.iter().find(|p| !p.supports_census()) {
+                return Err(format!(
+                    "phi/psi overrides require the gsu19 family (got '{}')",
+                    p.name()
+                ));
+            }
+            // Far above any derived value (Φ, Ψ = O(log log n) ≤ 12);
+            // unbounded overrides overflow the `Params` state-space
+            // arithmetic (`cnt_init` is `2Φ+3` in a u8).
+            if self.phi > 32 || self.psi > 32 {
+                return Err(format!(
+                    "phi/psi overrides out of range (phi {} / psi {}, max 32)",
+                    self.phi, self.psi
+                ));
+            }
+        }
+        if self.protocols.contains(&ProtocolKind::Clock)
+            && !matches!(self.stop, StopCondition::Horizon { .. })
+        {
+            return Err("the clock component never elects; use stop = horizon:T".into());
+        }
+        if !self.round_every.is_finite() || self.round_every <= 0.0 {
+            return Err(format!(
+                "round_every {} must be positive and finite",
+                self.round_every
+            ));
         }
         if self.batch_shift == 0 || self.batch_shift > 32 {
             return Err(format!(
@@ -272,19 +523,32 @@ impl ExperimentSpec {
                 self.batch_shift
             ));
         }
-        match self.stop {
-            StopCondition::Stabilize { budget_pt } => {
-                if !budget_pt.is_finite() || budget_pt <= 0.0 {
-                    return Err(format!("stabilize budget {budget_pt} must be positive"));
-                }
-                if !self.sample_at.is_empty() {
-                    return Err("sample_at requires a horizon stop (stop = horizon:T)".into());
+        if let StopCondition::DragReached { level, .. } = self.stop {
+            if level == 0 {
+                return Err("stop = drag needs a level of at least 1".into());
+            }
+            // The drag counter saturates at Ψ, so a level above the
+            // effective cap can never fire — every trial would silently
+            // burn its whole budget.
+            for &n in &self.ns {
+                let psi = if self.psi != 0 {
+                    self.psi
+                } else {
+                    core_protocol::psi_for(n)
+                };
+                if level > psi {
+                    return Err(format!(
+                        "stop = drag:{level} is unreachable at n = {n} (drag cap Ψ = {psi})"
+                    ));
                 }
             }
+        }
+        let budget = self.stop.budget_pt();
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(format!("stop budget {budget} must be positive"));
+        }
+        match self.stop {
             StopCondition::Horizon { at_pt } => {
-                if !at_pt.is_finite() || at_pt <= 0.0 {
-                    return Err(format!("horizon {at_pt} must be positive"));
-                }
                 if let Some(&t) = self.sample_at.iter().find(|t| !t.is_finite() || **t <= 0.0) {
                     return Err(format!("sample_at time {t} must be positive and finite"));
                 }
@@ -295,6 +559,11 @@ impl ExperimentSpec {
                     if t > at_pt {
                         return Err(format!("sample_at time {t} exceeds the horizon {at_pt}"));
                     }
+                }
+            }
+            _ => {
+                if !self.sample_at.is_empty() {
+                    return Err("sample_at requires a horizon stop (stop = horizon:T)".into());
                 }
             }
         }
@@ -323,16 +592,7 @@ impl ExperimentSpec {
     /// Canonical JSON form, embedded in every artifact so an artifact is
     /// self-describing and replayable.
     pub fn to_json(&self) -> Json {
-        let stop = match self.stop {
-            StopCondition::Stabilize { budget_pt } => Json::Obj(vec![
-                ("kind".into(), Json::Str("stabilize".into())),
-                ("budget_pt".into(), Json::Num(budget_pt)),
-            ]),
-            StopCondition::Horizon { at_pt } => Json::Obj(vec![
-                ("kind".into(), Json::Str("horizon".into())),
-                ("at_pt".into(), Json::Num(at_pt)),
-            ]),
-        };
+        let stop = self.stop.to_json();
         Json::Obj(vec![
             (
                 "protocols".into(),
@@ -355,12 +615,23 @@ impl ExperimentSpec {
             ("stop".into(), stop),
             (
                 "observables".into(),
-                Json::Str(self.observables.name().into()),
+                Json::Arr(
+                    self.observables
+                        .kinds()
+                        .iter()
+                        .map(|k| Json::Str(k.name().into()))
+                        .collect(),
+                ),
             ),
             (
                 "sample_at".into(),
                 Json::Arr(self.sample_at.iter().map(|&t| Json::Num(t)).collect()),
             ),
+            ("round_every".into(), Json::Num(self.round_every)),
+            ("init".into(), Json::Str(self.init.canonical())),
+            ("gamma".into(), Json::Uint(self.gamma as u64)),
+            ("phi".into(), Json::Uint(self.phi as u64)),
+            ("psi".into(), Json::Uint(self.psi as u64)),
         ])
         // `threads` is deliberately absent: it must not affect results, so
         // it is not part of the experiment's identity.
@@ -482,10 +753,83 @@ mod tests {
 
         let spec = ExperimentSpec {
             protocols: vec![ProtocolKind::Slow],
-            observables: ObservableSet::Census,
+            observables: Observables::parse("census").unwrap(),
             ..ExperimentSpec::default()
         };
         assert!(spec.validate().unwrap_err().contains("census"));
+
+        // Epoch observables need an epoch-reporting protocol.
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Slow],
+            observables: Observables::parse("epoch_times").unwrap(),
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("epoch"));
+
+        // Census-based stops need the gsu19 family.
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Bkko18],
+            stop: StopCondition::Settled { budget_pt: 100.0 },
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("census"));
+
+        // Synthetic inits need the gsu19 family.
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Gs18],
+            init: InitConfig::FinalEpoch {
+                k: 4,
+                times_log2: true,
+            },
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("gsu19"));
+
+        // The clock component never stabilises.
+        let spec = ExperimentSpec {
+            protocols: vec![ProtocolKind::Clock],
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("horizon"));
+
+        let spec = ExperimentSpec {
+            round_every: 0.0,
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("round_every"));
+
+        // Parameter overrides that would panic (or overflow) downstream
+        // constructors are rejected up front.
+        let spec = ExperimentSpec {
+            gamma: 3,
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("even"));
+        let spec = ExperimentSpec {
+            phi: 200,
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("out of range"));
+
+        // A drag level above the effective cap Ψ can never fire.
+        let spec = ExperimentSpec {
+            stop: StopCondition::DragReached {
+                level: 9,
+                budget_pt: 1000.0,
+            },
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("unreachable"));
+        // ...but a raised psi override makes it reachable again.
+        let spec = ExperimentSpec {
+            stop: StopCondition::DragReached {
+                level: 9,
+                budget_pt: 1000.0,
+            },
+            psi: 10,
+            ..ExperimentSpec::default()
+        };
+        spec.validate().unwrap();
 
         let spec = ExperimentSpec {
             sample_at: vec![1.0],
@@ -524,6 +868,71 @@ mod tests {
             "threads must not enter identity"
         );
         assert_eq!(j.emit(), spec.to_json().emit());
+    }
+
+    #[test]
+    fn extended_stop_and_init_forms_parse() {
+        assert_eq!(
+            StopCondition::parse("drag:3:500").unwrap(),
+            StopCondition::DragReached {
+                level: 3,
+                budget_pt: 500.0
+            }
+        );
+        assert_eq!(
+            StopCondition::parse("active:1:40000").unwrap(),
+            StopCondition::ActivesBelow {
+                count: 1,
+                budget_pt: 40_000.0
+            }
+        );
+        assert_eq!(
+            StopCondition::parse("settled:100").unwrap(),
+            StopCondition::Settled { budget_pt: 100.0 }
+        );
+        assert!(StopCondition::parse("drag:3").is_err());
+        assert!(StopCondition::parse("active:x:5").is_err());
+
+        assert_eq!(InitConfig::parse("fresh").unwrap(), InitConfig::Fresh);
+        assert_eq!(
+            InitConfig::parse("final-epoch:40").unwrap(),
+            InitConfig::FinalEpoch {
+                k: 40,
+                times_log2: false
+            }
+        );
+        let init = InitConfig::parse("final-epoch:4lg").unwrap();
+        assert_eq!(init.actives_for(1 << 10), Some(40));
+        assert!(InitConfig::parse("final-epoch:0").is_err());
+        assert!(InitConfig::parse("warmed-up").is_err());
+    }
+
+    #[test]
+    fn observable_lists_parse_and_canonicalise() {
+        let obs = Observables::parse("round_census, census,census").unwrap();
+        assert_eq!(obs.canonical(), "census,round_census");
+        assert!(obs.needs_census());
+        assert!(obs.needs_rounds());
+        assert!(!obs.needs_epochs());
+        assert_eq!(Observables::parse("core").unwrap(), Observables::none());
+        assert!(Observables::parse("censsus").is_err());
+
+        let spec = ExperimentSpec::parse(
+            "protocol = gsu19\nobservables = epoch_candidates, drag_times\nstop = drag:2:1000",
+        )
+        .unwrap();
+        spec.validate().unwrap();
+        assert!(spec.observables.needs_epochs());
+        let j = spec.to_json();
+        let names: Vec<_> = j
+            .get("observables")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["drag_times", "epoch_candidates"]);
     }
 
     #[test]

@@ -190,6 +190,17 @@ impl<P: Protocol> Simulator for AgentSim<P> {
         self.output_counts
     }
 
+    fn current_epoch(&self) -> Option<u32> {
+        let mut best = None;
+        for &s in &self.states {
+            let e = self.protocol.epoch_of(s);
+            if e > best {
+                best = e;
+            }
+        }
+        best
+    }
+
     fn for_each_state(&self, f: &mut dyn FnMut(Self::State, u64)) {
         // Aggregation without requiring Hash on State: walk the array and
         // emit multiplicity 1 per agent. Callers that need true histograms

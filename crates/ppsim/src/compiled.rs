@@ -416,6 +416,12 @@ impl<P: FactoredProtocol> Protocol for CompiledProtocol<P> {
     fn output(&self, s: u32) -> Output {
         self.tables.output[s as usize]
     }
+
+    /// Epochs pass through the packed-id decode, so epoch-aware drivers
+    /// see the same transitions on compiled and dynamic runs.
+    fn epoch_of(&self, s: u32) -> Option<u32> {
+        self.inner.epoch_of(self.decode_state(s))
+    }
 }
 
 impl<P: FactoredProtocol> EnumerableProtocol for CompiledProtocol<P> {

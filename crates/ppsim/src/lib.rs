@@ -94,8 +94,8 @@ pub use parallel::{default_threads, run_trials, run_trials_threads};
 pub use protocol::{EnumerableProtocol, Output, Protocol, Simulator};
 pub use rng::{split_seed, trial_seeds};
 pub use runner::{
-    run_until, run_until_stable, run_until_stable_with, run_until_with, sample_every,
-    sample_every_with, RunResult,
+    run_until, run_until_stable, run_until_stable_with, run_until_with, run_until_with_epochs,
+    sample_every, sample_every_with, EpochObserver, RunResult,
 };
 pub use stats::{
     bootstrap_mean_ci, chi_square_stat, geometric_mean, ks_critical, ks_statistic, linear_fit,
@@ -112,8 +112,8 @@ pub mod prelude {
     pub use crate::parallel::run_trials;
     pub use crate::protocol::{EnumerableProtocol, Output, Protocol, Simulator};
     pub use crate::runner::{
-        run_until, run_until_stable, run_until_stable_with, run_until_with, sample_every,
-        sample_every_with, RunResult,
+        run_until, run_until_stable, run_until_stable_with, run_until_with, run_until_with_epochs,
+        sample_every, sample_every_with, EpochObserver, RunResult,
     };
     pub use crate::stats::Summary;
     pub use crate::urn::UrnSim;

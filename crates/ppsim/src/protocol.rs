@@ -49,6 +49,21 @@ pub trait Protocol {
 
     /// The output mapping of a state.
     fn output(&self, state: Self::State) -> Output;
+
+    /// The **epoch** a state believes the protocol is in, if the state
+    /// carries that information.
+    ///
+    /// Epochs are a protocol-level notion of coarse progress — e.g. the
+    /// GSU19 fast-elimination countdown (each decrement of the leaders'
+    /// `cnt` starts a new epoch) or a phase clock's round counter. States
+    /// that carry no epoch information report `None` (the default, and the
+    /// blanket answer for protocols without epochs). Drivers aggregate per
+    /// state via [`Simulator::current_epoch`] and fire
+    /// [`crate::runner::EpochObserver`] hooks on transitions.
+    fn epoch_of(&self, state: Self::State) -> Option<u32> {
+        let _ = state;
+        None
+    }
 }
 
 /// A protocol whose state space can be enumerated as `0..num_states()`.
@@ -127,6 +142,20 @@ pub trait Simulator {
     /// the first time this predicate holds is the stabilisation time.
     fn is_stably_elected(&self) -> bool {
         self.leaders() == 1 && self.undecided() == 0
+    }
+
+    /// The epoch the simulation is currently in, as reported by the
+    /// protocol: the maximum [`Protocol::epoch_of`] over the population
+    /// (the frontier — epochs spread by epidemic, so the maximum is the
+    /// epoch the configuration has *entered*). `None` when no agent
+    /// reports one.
+    ///
+    /// O(population) on `AgentSim`, O(states) on `UrnSim` — intended for
+    /// checkpoint-granularity polling (see
+    /// [`crate::runner::run_until_with_epochs`]), not the hot loop. The
+    /// default (for simulators without protocol access) reports `None`.
+    fn current_epoch(&self) -> Option<u32> {
+        None
     }
 
     /// Visit every (state, multiplicity) pair of the current configuration.

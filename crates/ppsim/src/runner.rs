@@ -64,6 +64,58 @@ pub fn run_until_with<S: Simulator>(
     }
 }
 
+/// Hook fired at protocol-reported epoch transitions.
+///
+/// Implement this to observe coarse protocol progress (GSU19's
+/// fast-elimination countdown, a phase clock's rounds) without owning the
+/// drive loop; [`run_until_with_epochs`] polls
+/// [`Simulator::current_epoch`] at its scheduling boundaries and calls
+/// [`EpochObserver::on_epoch`] whenever the reported value changes
+/// (including the first `Some`). Transition times are therefore quantised
+/// to the driver's check granularity — one batch under a batching policy,
+/// one interaction under [`BatchPolicy::PerStep`].
+///
+/// A closure `FnMut(&S, u32)` is an observer.
+pub trait EpochObserver<S: Simulator> {
+    /// Called when the simulation's reported epoch changes to `epoch`.
+    fn on_epoch(&mut self, sim: &S, epoch: u32);
+}
+
+impl<S: Simulator, F: FnMut(&S, u32)> EpochObserver<S> for F {
+    fn on_epoch(&mut self, sim: &S, epoch: u32) {
+        self(sim, epoch)
+    }
+}
+
+/// Run until `pred(sim)` holds or `max_interactions` have been executed,
+/// firing `observer` at every protocol-reported epoch transition.
+///
+/// Identical scheduling (and therefore an identical trajectory) to
+/// [`run_until_with`] — the epoch poll is a read-only observation at each
+/// predicate check, so adding an observer never changes the run.
+pub fn run_until_with_epochs<S: Simulator>(
+    sim: &mut S,
+    policy: &BatchPolicy,
+    max_interactions: u64,
+    mut pred: impl FnMut(&S) -> bool,
+    observer: &mut impl EpochObserver<S>,
+) -> RunResult {
+    let mut last = sim.current_epoch();
+    if let Some(e) = last {
+        observer.on_epoch(sim, e);
+    }
+    run_until_with(sim, policy, max_interactions, |s| {
+        let epoch = s.current_epoch();
+        if epoch != last {
+            last = epoch;
+            if let Some(e) = epoch {
+                observer.on_epoch(s, e);
+            }
+        }
+        pred(s)
+    })
+}
+
 /// Run until `pred(sim)` holds or `max_interactions` have been executed.
 ///
 /// Per-step form of [`run_until_with`]: the predicate is evaluated after
@@ -244,6 +296,72 @@ mod tests {
         assert!(res.converged);
         assert_eq!(res.interactions, target.div_ceil(batch) * batch);
         assert!(res.interactions - target < batch, "overshoot > one batch");
+    }
+
+    /// Protocol whose states count pairwise meetings up to 3 and report
+    /// that count as their epoch — a deterministic epoch ladder.
+    struct Ladder;
+    impl Protocol for Ladder {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transition(&self, r: u8, i: u8) -> (u8, u8) {
+            let top = r.max(i).min(3);
+            ((top + 1).min(3), top)
+        }
+        fn output(&self, _: u8) -> Output {
+            Output::Follower
+        }
+        fn epoch_of(&self, s: u8) -> Option<u32> {
+            if s == 0 {
+                None
+            } else {
+                Some(s as u32)
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_observer_sees_every_transition_once() {
+        let mut sim = AgentSim::new(Ladder, 16, 3);
+        assert_eq!(sim.current_epoch(), None);
+        let mut seen: Vec<u32> = Vec::new();
+        let res = run_until_with_epochs(
+            &mut sim,
+            &BatchPolicy::PerStep,
+            10_000,
+            |s: &AgentSim<Ladder>| s.current_epoch() == Some(3),
+            &mut |_: &AgentSim<Ladder>, e: u32| seen.push(e),
+        );
+        assert!(res.converged);
+        // Per-step checks see the frontier climb one epoch at a time.
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn epoch_observer_does_not_change_the_trajectory() {
+        let mut plain = AgentSim::new(Ladder, 32, 7);
+        let mut observed = AgentSim::new(Ladder, 32, 7);
+        let a = run_until(&mut plain, 500, |_| false);
+        let mut fired = 0usize;
+        let b = run_until_with_epochs(
+            &mut observed,
+            &BatchPolicy::PerStep,
+            500,
+            |_: &AgentSim<Ladder>| false,
+            &mut |_: &AgentSim<Ladder>, _| fired += 1,
+        );
+        assert_eq!(a, b);
+        assert_eq!(plain.states(), observed.states());
+        assert!(fired > 0);
+    }
+
+    #[test]
+    fn protocols_without_epochs_report_none() {
+        let mut sim = AgentSim::new(Slow, 16, 1);
+        sim.steps(100);
+        assert_eq!(sim.current_epoch(), None);
     }
 
     #[test]

@@ -409,6 +409,19 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
         self.output_counts
     }
 
+    fn current_epoch(&self) -> Option<u32> {
+        let mut best = None;
+        for (id, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                let e = self.protocol.epoch_of(self.state_of[id]);
+                if e > best {
+                    best = e;
+                }
+            }
+        }
+        best
+    }
+
     fn for_each_state(&self, f: &mut dyn FnMut(Self::State, u64)) {
         for (id, &c) in self.counts.iter().enumerate() {
             if c > 0 {

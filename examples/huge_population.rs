@@ -22,7 +22,7 @@
 
 use population_protocols::core::Gsu19;
 use population_protocols::ppexp::{
-    run_experiment, EngineKind, ExperimentSpec, ObservableSet, ProtocolKind, StopCondition,
+    run_experiment, EngineKind, ExperimentSpec, Observables, ProtocolKind, StopCondition,
 };
 use population_protocols::ppsim::table::Table;
 
@@ -44,7 +44,7 @@ fn main() {
         ns: vec![n],
         trials: 1,
         seed: 1234,
-        observables: ObservableSet::Census,
+        observables: Observables::parse("census").expect("registered"),
         stop: StopCondition::Horizon { at_pt: 8.0 },
         sample_at: vec![0.5, 1.0, 2.0, 4.0, 8.0],
         ..ExperimentSpec::default()

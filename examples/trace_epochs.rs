@@ -1,6 +1,14 @@
-//! Narrated run of the paper's protocol: a census at every clock round
-//! showing the three epochs unfold — partition, fast elimination with
-//! biased coins, final elimination with the drag counter.
+//! Narrated run of the paper's protocol: a census at every epoch
+//! transition showing the three phases unfold — partition, fast
+//! elimination with biased coins, final elimination with the drag
+//! counter.
+//!
+//! Epochs are reported by the protocol itself (`Protocol::epoch_of`
+//! maps a leader's fast-elimination counter to an epoch index) and
+//! observed through the `ppsim::runner` epoch hook — this example is
+//! the minimal direct use of `run_until_with_epochs`; the `ppexp`
+//! `epoch_candidates` observable wraps the same mechanism for artifact
+//! pipelines.
 //!
 //! ```sh
 //! cargo run --release --example trace_epochs [n]
@@ -8,7 +16,7 @@
 
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppsim::table::Table;
-use population_protocols::ppsim::{AgentSim, Simulator};
+use population_protocols::ppsim::{run_until_with_epochs, AgentSim, BatchPolicy, Simulator};
 
 fn main() {
     let n: u64 = std::env::args()
@@ -28,9 +36,9 @@ fn main() {
 
     let mut sim = AgentSim::new(protocol, n as usize, 7);
     let mut t = Table::new([
-        "round",
-        "par.time",
         "epoch",
+        "par.time",
+        "phase",
         "active",
         "passive",
         "withdrawn",
@@ -40,39 +48,45 @@ fn main() {
         "max drag",
     ]);
 
-    let mut last_phase = 0u16;
-    let mut round = 0usize;
+    // The batch policy sets the check granularity: epoch polls (and the
+    // stabilisation predicate) run every n/8 interactions, like the old
+    // hand-rolled loop — per-step polling would cost O(n) per step.
+    let policy = BatchPolicy::Adaptive {
+        shift: 3,
+        min_population: 4,
+    };
     let budget = 40_000 * n;
-    while sim.interactions() < budget && round < 40 {
-        sim.steps(n / 8);
-        let phase = sim.states()[0].phase;
-        if phase < last_phase {
-            round += 1;
-            let c = Census::of(&sim, &params);
-            let epoch = match c.max_cnt {
-                Some(x) if x == params.cnt_init() => "init".to_string(),
-                Some(0) => "final elim".to_string(),
-                Some(x) => format!("fast elim (coin {})", params.coin_for_cnt(x).unwrap_or(0)),
-                None => "-".to_string(),
-            };
-            t.row([
-                round.to_string(),
-                format!("{:.0}", sim.parallel_time()),
-                epoch,
-                c.active.to_string(),
-                c.passive.to_string(),
-                c.withdrawn.to_string(),
-                c.coins().to_string(),
-                c.coin_levels[params.phi as usize].to_string(),
-                c.uninitialised().to_string(),
-                c.max_alive_drag.map(|d| d.to_string()).unwrap_or_default(),
-            ]);
-            if sim.is_stably_elected() && c.alive() == 1 {
-                break;
-            }
-        }
-        last_phase = phase;
-    }
+    let mut observer = |sim: &AgentSim<Gsu19>, epoch: u32| {
+        let c = Census::of(sim, &params);
+        let cnt = params.cnt_init().saturating_sub(epoch as u8);
+        let phase = if cnt == params.cnt_init() {
+            "init".to_string()
+        } else if cnt == 0 {
+            "final elim".to_string()
+        } else {
+            format!("fast elim (coin {})", params.coin_for_cnt(cnt).unwrap_or(0))
+        };
+        t.row([
+            epoch.to_string(),
+            format!("{:.0}", sim.parallel_time()),
+            phase,
+            c.active.to_string(),
+            c.passive.to_string(),
+            c.withdrawn.to_string(),
+            c.coins().to_string(),
+            c.coin_levels[params.phi as usize].to_string(),
+            c.uninitialised().to_string(),
+            c.max_alive_drag.map(|d| d.to_string()).unwrap_or_default(),
+        ]);
+    };
+    run_until_with_epochs(
+        &mut sim,
+        &policy,
+        budget,
+        |s| s.is_stably_elected(),
+        &mut observer,
+    );
+
     t.print();
 
     let c = Census::of(&sim, &params);
@@ -84,7 +98,7 @@ fn main() {
         if sim.is_stably_elected() {
             "unique leader elected"
         } else {
-            "still running (raise the budget or rounds cap)"
+            "still running (raise the budget)"
         }
     );
 }

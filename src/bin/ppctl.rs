@@ -26,7 +26,8 @@
 
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppexp::{
-    replay_trial, run_experiment, Artifact, ConfigResult, ExperimentSpec,
+    replay_trial, run_experiment, run_experiment_cached, Artifact, Cache, ConfigResult,
+    ExperimentSpec,
 };
 use population_protocols::ppsim::table::{fnum, Table};
 use population_protocols::ppsim::{AgentSim, BatchPolicy, Simulator, UrnSim};
@@ -81,15 +82,24 @@ fn print_help() {
          \x20        [--compiled] [--threads K] [--budget PT] [--out F] [--csv F]\n\
          \x20                                      convergence table across n (doubling)\n\
          \x20 run    [--spec FILE] [overrides...] [--out F|-] [--csv F]\n\
-         \x20        [--replay CONFIG:TRIAL]       declarative experiment (ppexp)\n\
+         \x20        [--replay CONFIG:TRIAL] [--cache] [--no-cache] [--cache-dir D]\n\
+         \x20                                      declarative experiment (ppexp)\n\
          \x20 validate FILE                        schema-check an artifact\n\
          \x20 census --n N [--at T] [--seed S] [--engine E] [--compiled]\n\
          \x20                                      census snapshot at parallel time T\n\n\
          run overrides (same keys as the spec file): --protocol P[,P...]\n\
          \x20 --engine E --compiled --n GRID --trials T --seed S --threads K\n\
-         \x20 --budget PT | --at PT --sample-at T1,T2,... --observables core|census\n\
-         \x20 --batch-shift B\n\n\
-         protocols: gsu19 (default) | gs18 | bkko18 | slow\n\
+         \x20 --budget PT | --at PT | --stop stabilize:B|horizon:T|drag:L:B|\n\
+         \x20 active:K:B|settled:B --sample-at T1,T2,... --observables LIST\n\
+         \x20 --batch-shift B --round-every R --init fresh|final-epoch:K[lg]\n\
+         \x20 --gamma G --phi P --psi P\n\n\
+         observables: core (none) or a comma list of census | level_sizes |\n\
+         \x20 junta_size | drag_histogram | round_census | drag_times |\n\
+         \x20 epoch_candidates | epoch_times | observed_states\n\
+         --cache reuses per-trial results from a content-addressed cache\n\
+         \x20 (default target/ppexp-cache); warm runs are byte-identical\n\n\
+         protocols: gsu19 (default) | gsu19-no-drag | gsu19-no-backup |\n\
+         \x20          gsu19-direct | gs18 | bkko18 | slow | clock\n\
          engines:   agent (default) | urn | urn-batched\n\
          threads:   --threads K or the PPSIM_THREADS environment variable\n\
          --compiled runs the engine on compiled transition tables\n\
@@ -215,9 +225,15 @@ const SPEC_FLAGS: &[(&str, &str)] = &[
     ("--threads", "threads"),
     ("--budget", "budget"),
     ("--at", "at"),
+    ("--stop", "stop"),
     ("--sample-at", "sample_at"),
     ("--observables", "observables"),
     ("--batch-shift", "batch_shift"),
+    ("--round-every", "round_every"),
+    ("--init", "init"),
+    ("--gamma", "gamma"),
+    ("--phi", "phi"),
+    ("--psi", "psi"),
 ];
 
 /// Apply every present spec flag to `spec`, in flag order.
@@ -410,14 +426,21 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             "--threads",
             "--budget",
             "--at",
+            "--stop",
             "--sample-at",
             "--observables",
             "--batch-shift",
+            "--round-every",
+            "--init",
+            "--gamma",
+            "--phi",
+            "--psi",
             "--out",
             "--csv",
             "--replay",
+            "--cache-dir",
         ],
-        &["--compiled"],
+        &["--compiled", "--cache", "--no-cache"],
     )?;
     let mut spec = match flags.get("--spec") {
         Some(path) => {
@@ -440,7 +463,28 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         return Ok(0);
     }
 
-    let artifact = run_experiment(&spec)?;
+    // --cache opts into the content-addressed trial cache; --no-cache
+    // wins when both are given (so a cached alias can be overridden).
+    let artifact = if flags.has("--cache") && !flags.has("--no-cache") {
+        let cache = Cache::at(
+            flags
+                .get("--cache-dir")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(Cache::default_dir),
+        );
+        let (artifact, stats) = run_experiment_cached(&spec, Some(&cache))?;
+        eprintln!(
+            "cache: {} hit{}, {} miss{} ({})",
+            stats.hits,
+            if stats.hits == 1 { "" } else { "s" },
+            stats.misses,
+            if stats.misses == 1 { "" } else { "es" },
+            cache.dir().display()
+        );
+        artifact
+    } else {
+        run_experiment(&spec)?
+    };
     if flags.get("--out") != Some("-") {
         let mut t = Table::new([
             "protocol", "n", "trials", "failures", "mean t", "ci95", "median",
@@ -644,6 +688,40 @@ mod tests {
         assert_eq!(spec.ns, vec![256, 512]);
         assert_eq!(spec.trials, 4);
         assert!(spec.compiled);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn observable_registry_flags_apply() {
+        let flags = Flags::parse(
+            &args(&[
+                "--stop",
+                "drag:2:5000",
+                "--observables",
+                "drag_times,epoch_candidates",
+                "--round-every",
+                "0.5",
+                "--init",
+                "final-epoch:4lg",
+                "--gamma",
+                "32",
+            ]),
+            &[
+                "--stop",
+                "--observables",
+                "--round-every",
+                "--init",
+                "--gamma",
+            ],
+            &[],
+        )
+        .unwrap();
+        let mut spec = ExperimentSpec::default();
+        apply_spec_flags(&mut spec, &flags).unwrap();
+        assert!(spec.observables.needs_epochs());
+        assert_eq!(spec.round_every, 0.5);
+        assert_eq!(spec.gamma, 32);
+        assert_eq!(spec.init.actives_for(1 << 10), Some(40));
         spec.validate().unwrap();
     }
 
