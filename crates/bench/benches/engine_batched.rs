@@ -1,13 +1,16 @@
 //! Experiment ENG-B — batched vs sequential urn sampling (criterion).
 //!
 //! The batched path (`UrnSim::steps_batched`, see `ppsim::batch`) samples
-//! whole blocks of interactions as multinomial pair counts over the urn;
-//! this target measures its per-interaction throughput against the
-//! sequential Fenwick path on the same protocol and population, which is
-//! the acceptance number for the batching work (≥10× at n ≥ 2^20 on
-//! `Gsu19`). The vendored criterion shim reports min/median/max per
-//! benchmark (no confidence intervals) — quote ratios from the medians
-//! and use min/max as the spread.
+//! interactions in *exact* sub-batches: collision-free runs drawn in bulk
+//! without replacement, alternating with individually resampled collision
+//! interactions, so the batched process is bit-for-bit the sequential one
+//! under the shared trace decoding. This target measures its
+//! per-interaction throughput against the sequential Fenwick path on the
+//! same protocol and population, which is the acceptance number for the
+//! batching work (≥10× at n ≥ 2^20 on `Gsu19`, exactness included). The
+//! vendored criterion shim reports min/median/max per benchmark (no
+//! confidence intervals) — quote ratios from the medians and use min/max
+//! as the spread.
 
 use baselines::SlowLe;
 use core_protocol::Gsu19;
@@ -16,9 +19,26 @@ use ppsim::{BatchPolicy, CompiledProtocol, Simulator, UrnSim};
 
 /// Sequential path: enough steps to dominate timer noise.
 const SEQ_STEPS: u64 = 10_000;
+
 /// Batched path: whole batches are cheap, so measure many more
 /// interactions per iteration to keep per-iteration wall time comparable.
-const BATCH_STEPS: u64 = 1 << 22;
+/// `PP_SCALE=quick` (the CI smoke) shrinks the iteration and drops the
+/// 2^30 population so the target finishes in seconds.
+fn batch_steps() -> u64 {
+    if bench::scale() == bench::Scale::Quick {
+        1 << 18
+    } else {
+        1 << 22
+    }
+}
+
+fn batched_npows() -> &'static [u32] {
+    if bench::scale() == bench::Scale::Quick {
+        &[14, 20]
+    } else {
+        &[14, 20, 30]
+    }
+}
 
 fn urn_sequential(c: &mut Criterion) {
     let mut g = c.benchmark_group("urn_sequential");
@@ -38,27 +58,29 @@ fn urn_sequential(c: &mut Criterion) {
 }
 
 fn urn_batched(c: &mut Criterion) {
+    let steps = batch_steps();
     let mut g = c.benchmark_group("urn_batched");
-    g.throughput(Throughput::Elements(BATCH_STEPS));
+    g.throughput(Throughput::Elements(steps));
     let policy = BatchPolicy::adaptive();
-    // 2^30 is out of reach for the sequential group but trivial here: the
-    // batch size scales with n, so the per-interaction cost *drops*.
-    for npow in [14u32, 20, 30] {
+    // 2^30 is out of reach for the sequential group but fine here: the
+    // sub-batch size scales with √n, so the per-interaction sampling cost
+    // stays bounded while the configuration stays count-sized.
+    for &npow in batched_npows() {
         let n = 1u64 << npow;
         g.bench_function(BenchmarkId::new("gsu19", format!("2^{npow}")), |b| {
             let mut sim = UrnSim::new(Gsu19::for_population(n), n, 1);
-            b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
+            b.iter(|| sim.steps_batched(steps, &policy));
         });
         g.bench_function(BenchmarkId::new("slow", format!("2^{npow}")), |b| {
             let mut sim = UrnSim::new(SlowLe, n, 1);
-            b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
+            b.iter(|| sim.steps_batched(steps, &policy));
         });
         g.bench_function(
             BenchmarkId::new("gsu19-compiled", format!("2^{npow}")),
             |b| {
                 let proto = CompiledProtocol::new(Gsu19::for_population(n));
                 let mut sim = UrnSim::new(proto, n, 1);
-                b.iter(|| sim.steps_batched(BATCH_STEPS, &policy));
+                b.iter(|| sim.steps_batched(steps, &policy));
             },
         );
     }

@@ -13,10 +13,13 @@
 //! statistics are exactly those of `ppctl run`.
 //!
 //! The `urn-batched` engine (see `ppsim::batch`) runs the same probe on the
-//! count-based simulator with batched multinomial sampling, which is the
-//! only way to actually reach the extrapolated crossover (n ≳ 2^24) in
-//! reasonable wall time. Note its stopping times are quantised to batch
-//! boundaries (overshoot ≤ n/64 interactions = 1/64 parallel time).
+//! count-based simulator with exact collision-resampling batches, which is
+//! the only way to actually reach the extrapolated crossover (n ≳ 2^24) in
+//! reasonable wall time. Its stopping times are **exact first hits**: the
+//! engine probes the predicate at block boundaries but rewinds and replays
+//! the recorded interaction trace to the first satisfying interaction, so
+//! there is no batch-boundary quantisation in any mode (the legacy
+//! approximate engine's overshoot of up to one batch is gone).
 //!
 //! `--compiled` runs the chosen engine on compiled transition tables
 //! (`ppsim::compiled`) for both protocols — the fast path for the agent

@@ -380,12 +380,19 @@ fn census_stop_hit(stop: &StopCondition, census: &Census, sim_stable: bool) -> b
 /// observables on their declared schedules.
 ///
 /// The loop advances in segments bounded by the next round boundary (when
-/// any round- or epoch-scheduled observable, or a census-based stop, is
-/// active), the next trajectory sample point, and the budget; within a
-/// segment the engine executes policy-sized batches. Stabilisation is
-/// checked per batch (exact under `PerStep`); census-based stops are
-/// checked at round boundaries only, so their reported stopping times are
-/// quantised to the round grid.
+/// any round- or epoch-scheduled observable is active), the next
+/// trajectory sample point, and the budget; within a segment the engine
+/// runs under [`Simulator::steps_until`] with the stop condition as the
+/// predicate. Stopping times are therefore **exact first hits for every
+/// stop condition** — `stabilize:`, `drag:`, `active:` and `settled:`
+/// alike — on every engine: the batched urn probes at block granularity
+/// and rewinds/replays its interaction trace to the exact hit, per-step
+/// engines check after every interaction. (Before the exact batch engine,
+/// census-based stops were quantised to the round grid; no mode quantises
+/// any more.) Round-scheduled observables still sample on the round grid;
+/// the stop point additionally feeds the first-hit (`drag_times`) and
+/// epoch-event accumulators — but not the `round_census` traces, whose
+/// time axis must stay on the shared grid.
 pub(crate) fn drive<S: Simulator>(
     sim: &mut S,
     shape: &RunShape,
@@ -393,29 +400,38 @@ pub(crate) fn drive<S: Simulator>(
 ) -> TrialOutcome {
     let n = sim.population();
     let obs = shape.observables;
-    let stop_census = shape.stop.needs_census();
-    let rounds_on = obs.needs_rounds() || obs.needs_epochs() || stop_census;
+    let rounds_on = obs.needs_rounds() || obs.needs_epochs();
     let round_step = ((shape.round_every * (n as f64).log2() * n as f64) as u64).max(1);
     let budget = (shape.stop.budget_pt() * n as f64) as u64;
-    let stabilize = matches!(shape.stop, StopCondition::Stabilize { .. });
 
     let mut accum = ObsAccum::new(obs, probe.params());
     let mut sample_traces: Vec<Series> = Vec::new();
     let mut sample_idx = 0usize;
     let mut stopped = false;
 
-    // Checkpoint processing: round-scheduled observables, epoch polling,
-    // census-based stop predicates. Returns `true` when a census-based
-    // stop fires.
-    let checkpoint = |sim: &S, accum: &mut ObsAccum| -> bool {
+    // The stopping predicate handed to `steps_until`. Census-based stops
+    // probe the census on every check — O(occupied states) on the urn
+    // engines, O(n) on `AgentSim` (which is why large-n census-stop specs
+    // should run on an urn engine).
+    let mut stop_pred = |s: &S| -> bool {
+        match shape.stop {
+            StopCondition::Stabilize { .. } => s.is_stably_elected(),
+            StopCondition::Horizon { .. } => false,
+            _ => probe
+                .census(s)
+                .is_some_and(|c| census_stop_hit(&shape.stop, &c, s.is_stably_elected())),
+        }
+    };
+
+    // Checkpoint processing: round-scheduled observables and epoch polling.
+    let checkpoint = |sim: &S, accum: &mut ObsAccum| {
         let pt = sim.parallel_time();
         if let Some(seen) = &mut accum.seen_states {
             sim.for_each_state(&mut |s, _| {
                 seen.insert(probe.state_id(s));
             });
         }
-        let census = (stop_census
-            || !accum.round_traces.is_empty()
+        let census = (!accum.round_traces.is_empty()
             || accum.drag_first.is_some()
             || obs.contains(ObservableKind::EpochCandidates))
         .then(|| probe.census(sim))
@@ -453,13 +469,13 @@ pub(crate) fn drive<S: Simulator>(
                 }
             }
         }
-        census
-            .as_ref()
-            .is_some_and(|c| census_stop_hit(&shape.stop, c, sim.is_stably_elected()))
     };
 
     // The k = 0 boundary: observe the initial configuration too.
-    if rounds_on && checkpoint(sim, &mut accum) {
+    if rounds_on {
+        checkpoint(sim, &mut accum);
+    }
+    if stop_pred(sim) {
         stopped = true;
     }
 
@@ -475,29 +491,13 @@ pub(crate) fn drive<S: Simulator>(
             .map_or(u64::MAX, |&t| (t * n as f64) as u64);
         let target = next_round.min(next_sample).min(budget);
 
-        if stabilize {
-            // Per-batch stabilisation checks, exactly as `run_until_stable_with`.
-            while sim.interactions() < target {
-                if sim.is_stably_elected() {
-                    stopped = true;
-                    break;
-                }
-                let chunk = shape.policy.batch_size(n).min(target - sim.interactions());
-                sim.steps_bulk(chunk, &shape.policy);
-            }
-            if !stopped && sim.is_stably_elected() {
-                stopped = true;
-            }
-            if stopped {
-                break;
-            }
-        } else {
-            sim.steps_bulk(target - sim.interactions(), &shape.policy);
-        }
-
-        if rounds_on && sim.interactions() == next_round && checkpoint(sim, &mut accum) {
+        if sim.steps_until(target - sim.interactions(), &shape.policy, &mut stop_pred) {
             stopped = true;
             break;
+        }
+
+        if rounds_on && sim.interactions() == next_round {
+            checkpoint(sim, &mut accum);
         }
         if sim.interactions() == next_sample {
             let mut row = vec![
@@ -525,6 +525,35 @@ pub(crate) fn drive<S: Simulator>(
         StopCondition::Horizon { .. } => true,
         _ => stopped,
     };
+
+    // The stop (or budget-exhaustion) point feeds the first-hit and epoch
+    // accumulators too: exact stops land between round boundaries, and a
+    // `drag:` stop must report `drag_ge{level}_pt` equal to its own exact
+    // stopping time. `round_census` traces are *not* extended here — their
+    // time axis must stay on the grid shared across trials.
+    if accum.drag_first.is_some() || obs.needs_epochs() {
+        let pt = sim.parallel_time();
+        let census = (accum.drag_first.is_some() || obs.contains(ObservableKind::EpochCandidates))
+            .then(|| probe.census(sim))
+            .flatten();
+        if let (Some(c), Some(first)) = (&census, &mut accum.drag_first) {
+            if let Some(d) = c.max_active_drag {
+                for slot in first.iter_mut().take(d as usize + 1) {
+                    slot.get_or_insert(pt);
+                }
+            }
+        }
+        if obs.needs_epochs() {
+            let epoch = sim.current_epoch();
+            if epoch != accum.last_epoch {
+                accum.last_epoch = epoch;
+                if let Some(v) = epoch {
+                    let actives = census.as_ref().map(|c| c.active);
+                    accum.epoch_events.push((pt, v, actives));
+                }
+            }
+        }
+    }
 
     // `observed_states` also counts the final configuration (the stop
     // point rarely lands on a round boundary).

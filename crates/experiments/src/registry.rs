@@ -579,7 +579,7 @@ mod tests {
     }
 
     #[test]
-    fn drag_stop_quantises_to_the_round_grid() {
+    fn drag_stop_reports_the_exact_first_hit() {
         let obs = Observables::parse("drag_times").unwrap();
         let sh = shape(
             StopCondition::DragReached {
@@ -595,7 +595,8 @@ mod tests {
         assert!(out.converged, "drag 1 not reached");
         let t1 = out.metric("drag_ge1_pt").expect("first drag-1 time");
         assert!(out.metric("drag_ge0_pt").unwrap() <= t1);
-        // The stop fired at the same checkpoint that recorded the level.
+        // Exact first-hit stop: the stopping time IS the first time the
+        // level was reached (the stop point feeds the drag accumulator).
         assert_eq!(out.metric("time"), Some(t1));
     }
 

@@ -52,9 +52,13 @@ impl EngineKind {
 ///
 /// `Stabilize` and `Horizon` work for every protocol. The census-based
 /// conditions (`DragReached`, `ActivesBelow`, `Settled`) require the
-/// gsu19 protocol family and are evaluated at round-grid granularity
-/// (`round_every · n · log₂ n` interactions), so their reported stopping
-/// times are quantised to that grid.
+/// gsu19 protocol family. Every condition reports the **exact first-hit
+/// interaction count** on every engine: the exact batched urn probes at
+/// block granularity and rewinds/replays its recorded trace to the first
+/// satisfying interaction (`ppsim::Simulator::steps_until`), per-step
+/// engines check after each interaction. No mode quantises stopping times
+/// to the round grid or to batch boundaries any more — the round grid
+/// (`round_every · n · log₂ n` interactions) only schedules *observables*.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum StopCondition {
     /// Run until stably elected or the budget (in parallel time) expires.

@@ -1,33 +1,48 @@
-//! Batched interaction sampling — the urn-batching trick.
+//! Batched interaction sampling — the exact collision-resampling urn trick.
 //!
 //! The sequential urn path ([`crate::UrnSim::step`]) pays two Fenwick `find`s
 //! and four `add`s per interaction. Between observation points, whole batches
-//! of interactions can instead be sampled at once: a batch of `b` interactions
-//! touches `2b` agents, and as long as those agents are distinct the batch is
-//! exchangeable — the multiset of (responder, initiator) state pairs is
-//! obtained by drawing `2b` balls from the urn without replacement, splitting
-//! them uniformly into roles, and pairing the two halves uniformly at random.
-//! Each draw reduces to a chain of conditional binomials over the occupied
-//! states, so a batch costs O(occupied states²) sampler calls *total* instead
-//! of O(log |states|) tree walks *per interaction*.
+//! of interactions can instead be sampled at once. A batch of `b` interactions
+//! is decomposed into **collision-free runs** separated by **collisions**:
 //!
-//! The approximation relative to the exact sequential chain is that within a
-//! batch (i) no agent interacts twice and (ii) transition outputs do not feed
-//! back into the sampling snapshot. Both effects are O(batch/n) per
-//! interaction, so the [`BatchPolicy`] caps batches at a small fraction of
-//! the population and falls back to per-step sampling for small populations.
-//! The statistical equivalence suite (`tests/engine_equivalence.rs`) gates
-//! the batched path against the sequential engines.
+//! * A collision-free run is a maximal prefix of interactions in which every
+//!   participant is *fresh* (has not interacted earlier in the batch). Its
+//!   length has the exact survival distribution
+//!   `P(run ≥ j) = ∏_{i<j} (u−2i)(u−2i−1) / (n(n−1))` for `u` fresh agents
+//!   ([`collision_free_run`] inverts that CDF with one uniform draw).
+//!   Conditional on the length, the run's `2L` participants are an
+//!   exchangeable without-replacement sample from the fresh pool, so the
+//!   multiset of (responder, initiator) state pairs is obtained by drawing
+//!   the two role halves without replacement and pairing them uniformly —
+//!   a chain of conditional hypergeometrics over the occupied states.
+//! * A collision is one interaction in which at least one participant has
+//!   interacted before; its case (which side is the repeat) and the repeat
+//!   agent itself are sampled from the **post-update** states of the touched
+//!   agents, so transition outputs feed back into the sampling exactly as
+//!   they do sequentially.
+//!
+//! The decomposition makes a batch of any size with `2·batch ≤ n` *exactly*
+//! distributed as `b` sequential steps — there is no within-batch
+//! approximation left, and the equivalence suite
+//! (`tests/engine_equivalence.rs`) gates the batched path against the
+//! sequential engine **bit for bit** under a shared interaction-trace
+//! decoding (the KS/chi-square comparisons remain only as a sanity layer).
+//! The [`BatchPolicy`] still falls back to per-step sampling for small
+//! populations, where per-batch bookkeeping would dominate.
 
 use rand::Rng;
 
-/// Above this expected value the binomial sampler switches from the exact
-/// inverse-CDF walk (cost O(n·p)) to the normal approximation (cost O(1)).
-const BINV_MEAN_CUTOFF: f64 = 48.0;
+/// Above this expected value the binomial and hypergeometric samplers switch
+/// from the exact inverse-CDF walk (cost O(mean)) to the normal approximation
+/// (cost O(1)). Public so the boundary can be pinned by regression tests:
+/// the exact batched engine consumes one conditional draw per occupied bucket
+/// per run, straddling this crossover constantly.
+pub const BINV_MEAN_CUTOFF: f64 = 48.0;
 
-/// Below this trial count the sampler always uses the exact inverse-CDF walk
-/// regardless of the mean: small draws are cheap to do exactly.
-const BINV_EXACT_N: u64 = 128;
+/// Below this trial count the samplers always use the exact inverse-CDF walk
+/// regardless of the mean: small draws are cheap to do exactly. Public for
+/// the same boundary-pinning reason as [`BINV_MEAN_CUTOFF`].
+pub const BINV_EXACT_N: u64 = 128;
 
 /// Sample from the binomial distribution `Bin(n, p)`.
 ///
@@ -258,6 +273,89 @@ fn hypergeometric_normal_approx<R: Rng>(rng: &mut R, total: u64, marked: u64, dr
     }
 }
 
+/// Number of survival-walk steps [`collision_free_run`] takes before
+/// switching to a log-gamma binary search for the tail. Short runs (the
+/// common case at large batch fractions) stay on the cheap multiply-compare
+/// walk; long runs (small touched sets, huge populations) invert the CDF in
+/// O(log run) Lanczos evaluations instead of O(run) multiplies.
+const RUN_WALK_LIMIT: u64 = 64;
+
+/// Sample the length of a maximal **collision-free run**: the number of
+/// consecutive interactions, starting from a configuration with `untouched`
+/// agents that have not yet interacted within the current batch, before an
+/// interaction first involves a previously-touched agent.
+///
+/// Each interaction picks an ordered pair of distinct agents uniformly among
+/// `n(n−1)`, so the run length `L` has the exact survival function
+///
+/// ```text
+/// P(L ≥ j) = ∏_{i=0}^{j−1} (u−2i)(u−2i−1) / (n(n−1))
+/// ```
+///
+/// with `u = untouched`. This function inverts that CDF with a single
+/// uniform draw (exact up to f64 rounding — the same convention as the
+/// inverse-CDF walks of [`binomial`] and [`hypergeometric`]): a
+/// multiply-compare walk for the first [`RUN_WALK_LIMIT`] steps, then a
+/// binary search on the closed form `ln P(L ≥ j) = ln Γ(u+1) − ln Γ(u−2j+1)
+/// − j·ln(n(n−1))` so astronomically long runs (small batches in huge
+/// populations) cost O(log run) instead of O(run).
+///
+/// The returned length is capped at `max_len` (the remaining batch budget);
+/// a return value `< max_len` means the *next* interaction is a collision —
+/// certain once fewer than two untouched agents remain. Exactly one uniform
+/// is consumed regardless of the outcome.
+pub fn collision_free_run<R: Rng>(
+    rng: &mut R,
+    population: u64,
+    untouched: u64,
+    max_len: u64,
+) -> u64 {
+    debug_assert!(population >= 2 && untouched <= population);
+    let denom = population as f64 * (population - 1) as f64;
+    // U ∈ (0, 1]: `gen` covers [0, 1); a literal 0 would never fall below
+    // the shrinking survival probability and loop past its underflow.
+    let u_draw = 1.0 - rng.gen::<f64>();
+    let mut q = 1.0f64;
+    let mut len = 0u64;
+    let mut fresh = untouched;
+    let walk_cap = max_len.min(RUN_WALK_LIMIT);
+    while len < walk_cap {
+        if fresh < 2 {
+            return len; // a collision is certain
+        }
+        q *= fresh as f64 * (fresh - 1) as f64 / denom;
+        if q < u_draw {
+            return len; // interaction len+1 involves a touched agent
+        }
+        len += 1;
+        fresh -= 2;
+    }
+    if len == max_len || fresh < 2 {
+        return len;
+    }
+    // Still surviving after the walk: binary-search the largest j ≤ cap with
+    // P(L ≥ j) ≥ U, using the closed form relative to the walked prefix:
+    // P(L ≥ len + d) = q · exp(ln Γ(fresh+1) − ln Γ(fresh−2d+1) − d·ln_denom).
+    let ln_threshold = (u_draw / q).ln();
+    let ln_denom = denom.ln();
+    let ln_top = ln_gamma(fresh as f64 + 1.0);
+    let cap = (max_len - len).min(fresh / 2);
+    let survives = |d: u64| -> bool {
+        ln_top - ln_gamma((fresh - 2 * d) as f64 + 1.0) - d as f64 * ln_denom >= ln_threshold
+    };
+    // Invariant: survives(lo) holds (d = 0 survives by construction).
+    let (mut lo, mut hi) = (0u64, cap);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if survives(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    len + lo
+}
+
 /// Draw `draws` balls **without replacement** from the pool described by
 /// `pool` (per-slot ball counts summing to `*pool_total`), writing the
 /// per-slot draw counts to `out` and removing the drawn balls from the pool.
@@ -321,27 +419,79 @@ pub fn draw_without_replacement<R: Rng>(
     debug_assert_eq!(draws_left, 0);
 }
 
+/// Sparse variant of [`draw_without_replacement`]: writes only the slots
+/// that actually yielded balls, as `(slot index, draw count)` pairs.
+///
+/// This is the occupancy-bucketed workhorse of the exact batched engine: a
+/// collision-free run draws its participants through this chain, so the cost
+/// per run is one [`hypergeometric`] call per *non-empty pool slot visited*
+/// (the chain stops as soon as all draws are assigned) rather than a dense
+/// pass over the full census. Same distribution, same clamp-enforced
+/// invariants (draws sum exactly, no slot over-drawn) as the dense form.
+pub fn draw_without_replacement_sparse<R: Rng>(
+    rng: &mut R,
+    draws: u64,
+    pool: &mut [u64],
+    pool_total: &mut u64,
+    out: &mut Vec<(u32, u64)>,
+) {
+    debug_assert!(draws <= *pool_total, "cannot draw {draws} of {pool_total}");
+    debug_assert_eq!(pool.iter().sum::<u64>(), *pool_total);
+    out.clear();
+    let mut draws_left = draws;
+    let mut total_left = *pool_total;
+    for (j, slot) in pool.iter_mut().enumerate() {
+        if draws_left == 0 {
+            break;
+        }
+        let c = *slot;
+        if c == 0 {
+            continue;
+        }
+        let x = if total_left == c {
+            draws_left
+        } else {
+            // Overflow-safe support bounds; see `draw_without_replacement`.
+            let lo = draws_left.saturating_sub(total_left - c);
+            let hi = c.min(draws_left);
+            hypergeometric(rng, total_left, c, draws_left).clamp(lo, hi)
+        };
+        total_left -= c;
+        if x > 0 {
+            out.push((j as u32, x));
+            *slot -= x;
+            draws_left -= x;
+        }
+    }
+    *pool_total -= draws;
+    debug_assert_eq!(draws_left, 0);
+}
+
 /// How a driver schedules interactions between predicate/observation checks.
 ///
 /// The policy answers one question — how many interactions may be executed
-/// as one opaque block — and is honoured in two places: the engine
-/// ([`crate::UrnSim::steps_batched`]) uses it to size its internal sampling
-/// batches, and the drivers ([`crate::runner::run_until_with`]) use it as
-/// the predicate-check granularity, so a stopping condition is detected with
-/// overshoot bounded by one batch.
+/// as one opaque block. Since the batched engine became exact (collision
+/// resampling, see the module docs), the block size is purely a
+/// *scheduling* knob: it bounds how much work happens between predicate
+/// checks and observation points, but no longer trades accuracy for speed.
+/// Stop detection is still block-granular, yet the engines rewind and
+/// replay the hitting block ([`crate::protocol::Simulator::steps_until`]),
+/// so reported stopping times are exact first hits, not block-quantised.
+/// Within a block the engine is free to subdivide into whatever internal
+/// sub-batches sample fastest (≈√n for [`crate::UrnSim`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BatchPolicy {
     /// One interaction at a time — the exact sequential reference. Drivers
     /// check predicates after every interaction, engines never batch.
     PerStep,
-    /// Batches of `population >> shift` interactions, falling back to
+    /// Blocks of `population >> shift` interactions, falling back to
     /// per-step sampling when the population is below `min_population`
-    /// (where batching overhead and the O(batch/n) within-batch
-    /// approximation are not worth it).
+    /// (where per-block bookkeeping is not worth it).
     Adaptive {
-        /// Batch size is `population >> shift`; also the bound on predicate
-        /// overshoot in the drivers. Must keep `2·batch ≤ population`, i.e.
-        /// `shift ≥ 1`.
+        /// Block size is `population >> shift`. Must keep
+        /// `2·batch ≤ population`, i.e. `shift ≥ 1` — [`Self::batch_size`]
+        /// clamps a literal-built `shift: 0` up to 1 (documented clamp
+        /// policy); [`Self::adaptive_with`] rejects it loudly instead.
         shift: u32,
         /// Populations strictly below this run per-step.
         min_population: u64,
@@ -349,23 +499,61 @@ pub enum BatchPolicy {
 }
 
 impl BatchPolicy {
-    /// Default batch fraction: 1/64 of the population per batch.
+    /// Default block fraction: 1/16 of the population per scheduling block.
     ///
-    /// Chosen empirically: the within-batch approximation (no agent
-    /// interacts twice per batch) biases sensitive marginals by
-    /// ~0.1·batch/n, so n/64 keeps the drift under half a percent — inside
-    /// every statistical gate — while per-interaction overhead is still
-    /// dominated by the batch itself, not the per-batch bookkeeping.
-    pub const DEFAULT_SHIFT: u32 = 6;
+    /// PR 2's approximate engine had to cap batches at n/64 to keep its
+    /// O(batch/n) within-batch bias inside the statistical gates. The exact
+    /// collision-resampling engine has no such bias, so the default is
+    /// raised toward the n/2 validity bound: blocks are n/16, and the
+    /// engine subdivides internally for sampling efficiency. The remaining
+    /// trade-off is only stop-detection granularity, which the
+    /// rewind-and-replay exact stops make invisible in reported times.
+    pub const DEFAULT_SHIFT: u32 = 4;
     /// Default small-population cutoff for the per-step fallback.
     pub const DEFAULT_MIN_POPULATION: u64 = 4096;
 
     /// The default batching configuration
-    /// (`Adaptive { shift: 6, min_population: 4096 }`).
+    /// (`Adaptive { shift: 4, min_population: 4096 }`).
     pub const fn adaptive() -> Self {
         BatchPolicy::Adaptive {
             shift: Self::DEFAULT_SHIFT,
             min_population: Self::DEFAULT_MIN_POPULATION,
+        }
+    }
+
+    /// Validated constructor for hand-built adaptive policies.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ shift < 64`: `shift: 0` would ask for batches of
+    /// the whole population, violating the `2·batch ≤ population` cap the
+    /// engine's pair sampling needs, and `shift ≥ 64` always degenerates to
+    /// per-step. (Building the enum literally bypasses this check;
+    /// [`Self::batch_size`] then clamps `shift` to at least 1.)
+    pub fn adaptive_with(shift: u32, min_population: u64) -> Self {
+        assert!(
+            (1..64).contains(&shift),
+            "BatchPolicy shift must be in 1..64, got {shift}: shift 0 violates \
+             2·batch ≤ population and shifts ≥ 64 always produce batch size 1"
+        );
+        BatchPolicy::Adaptive {
+            shift,
+            min_population,
+        }
+    }
+
+    /// Check the cap invariant without constructing: `Ok` for [`PerStep`]
+    /// and for adaptive shifts in `1..64`, `Err` with a description
+    /// otherwise. Lets spec layers validate user-supplied policies before
+    /// the clamp in [`Self::batch_size`] silently papers over them.
+    ///
+    /// [`PerStep`]: BatchPolicy::PerStep
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            BatchPolicy::PerStep => Ok(()),
+            BatchPolicy::Adaptive { shift, .. } if (1..64).contains(&shift) => Ok(()),
+            BatchPolicy::Adaptive { shift, .. } => Err(format!(
+                "adaptive batch shift must be in 1..64, got {shift}"
+            )),
         }
     }
 
@@ -597,6 +785,122 @@ mod tests {
     }
 
     #[test]
+    fn sparse_draw_matches_dense_invariants() {
+        let mut rng = SmallRng::seed_from_u64(50);
+        for draws in [0u64, 1, 17, 50, 99, 100] {
+            let mut pool = vec![10u64, 0, 25, 1, 64];
+            let snapshot = pool.clone();
+            let mut total = 100;
+            let mut out = Vec::new();
+            draw_without_replacement_sparse(&mut rng, draws, &mut pool, &mut total, &mut out);
+            assert_eq!(out.iter().map(|&(_, x)| x).sum::<u64>(), draws);
+            assert_eq!(total, 100 - draws);
+            for &(j, x) in &out {
+                assert!(x > 0, "sparse output must omit zero draws");
+                assert!(x <= snapshot[j as usize]);
+                assert_eq!(pool[j as usize], snapshot[j as usize] - x);
+            }
+            // Entries are strictly increasing slot indices (chain order).
+            for w in out.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_draw_skips_empty_slots_entirely() {
+        // A pool that is almost all zeros: the sparse chain must never
+        // report the empty slots, and draining the pool returns exactly
+        // the non-empty ones.
+        let mut rng = SmallRng::seed_from_u64(51);
+        let mut pool = vec![0u64; 100];
+        pool[13] = 4;
+        pool[77] = 6;
+        let mut total = 10;
+        let mut out = Vec::new();
+        draw_without_replacement_sparse(&mut rng, 10, &mut pool, &mut total, &mut out);
+        assert_eq!(out, vec![(13, 4), (77, 6)]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn collision_free_run_full_pool_always_survives_one_step() {
+        // At batch start every agent is untouched: P(L ≥ 1) = 1, so the
+        // sampler must never report an immediate collision.
+        let mut rng = SmallRng::seed_from_u64(52);
+        for n in [4u64, 100, 1 << 20] {
+            for _ in 0..200 {
+                assert!(collision_free_run(&mut rng, n, n, 8) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn collision_free_run_certain_collision_below_two_fresh() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        for fresh in [0u64, 1] {
+            for _ in 0..50 {
+                assert_eq!(collision_free_run(&mut rng, 100, fresh, 10), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn collision_free_run_respects_cap_and_fresh_budget() {
+        let mut rng = SmallRng::seed_from_u64(54);
+        for _ in 0..500 {
+            let len = collision_free_run(&mut rng, 1 << 10, 1 << 10, 12);
+            assert!(len <= 12);
+            let len = collision_free_run(&mut rng, 1 << 10, 9, 1 << 20);
+            assert!(len <= 4, "only ⌊9/2⌋ collision-free interactions fit");
+        }
+    }
+
+    #[test]
+    fn collision_free_run_mean_matches_survival_sum() {
+        // E[min(L, cap)] = Σ_{j=1}^{cap} P(L ≥ j) in closed form; the
+        // empirical mean over many draws must match. Exercises both the
+        // walk and (with cap > RUN_WALK_LIMIT) the binary-search tail.
+        let mut rng = SmallRng::seed_from_u64(55);
+        for (n, u, cap) in [(1u64 << 10, 1u64 << 10, 40u64), (1 << 14, 1 << 14, 256)] {
+            let denom = n as f64 * (n - 1) as f64;
+            let mut expect = 0.0f64;
+            let mut q = 1.0f64;
+            for j in 0..cap {
+                let fresh = u - 2 * j;
+                q *= fresh as f64 * (fresh - 1) as f64 / denom;
+                expect += q;
+            }
+            let reps = 40_000u64;
+            let sum: u64 = (0..reps)
+                .map(|_| collision_free_run(&mut rng, n, u, cap))
+                .sum();
+            let mean = sum as f64 / reps as f64;
+            // Var(min(L, cap)) ≤ E[L²] is O(cap·mean); a generous 6σ band.
+            let se = (expect * cap as f64 / reps as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 6.0 * se + 0.01,
+                "n={n}: mean {mean} vs {expect} (se {se})"
+            );
+        }
+    }
+
+    #[test]
+    fn collision_free_run_walk_and_search_agree_at_the_switch() {
+        // The log-gamma tail must continue the walk's distribution
+        // smoothly: with a huge population the run is astronomically
+        // unlikely to end this early, so lengths must pin at the cap on
+        // both sides of RUN_WALK_LIMIT.
+        let mut rng = SmallRng::seed_from_u64(56);
+        for cap in [63u64, 64, 65, 200] {
+            for _ in 0..50 {
+                let len = collision_free_run(&mut rng, 1 << 40, 1 << 40, cap);
+                assert_eq!(len, cap, "run ended early at cap {cap}");
+            }
+        }
+    }
+
+    #[test]
     fn hypergeometric_huge_population_no_overflow() {
         // Populations above 2^63: the symmetry half-checks and the support
         // arithmetic must not wrap (debug builds panic on overflow — this
@@ -669,11 +973,65 @@ mod tests {
     fn adaptive_boundary_at_default_min_population() {
         // Pin the fallback boundary semantics: populations *strictly
         // below* `min_population` run per-step; at exactly 4096 the
-        // default policy batches 4096 >> 6 = 64.
+        // default policy batches 4096 >> 4 = 256.
         let p = BatchPolicy::adaptive();
         assert_eq!(p.batch_size(4095), 1);
-        assert_eq!(p.batch_size(4096), 64);
-        assert_eq!(p.batch_size(4097), 64);
+        assert_eq!(p.batch_size(4096), 256);
+        assert_eq!(p.batch_size(4097), 256);
+    }
+
+    #[test]
+    fn adaptive_shift_one_sits_exactly_on_the_half_population_cap() {
+        // Pin the n/2 boundary the way the 4095/4096 min_population
+        // boundary is pinned above: shift 1 is the largest legal batch
+        // fraction, and its blocks must never exceed ⌊n/2⌋ — for even and
+        // odd populations alike — so `2·batch ≤ n` holds with equality at
+        // even n.
+        let p = BatchPolicy::adaptive_with(1, 2);
+        assert_eq!(p.batch_size(4096), 2048);
+        assert_eq!(p.batch_size(4097), 2048); // ⌊4097/2⌋
+        assert_eq!(p.batch_size(7), 3);
+        assert_eq!(p.batch_size(4), 2);
+        for n in [4u64, 5, 7, 4096, 4097, (1 << 40) - 1] {
+            assert!(2 * p.batch_size(n) <= n, "cap violated at n={n}");
+        }
+    }
+
+    #[test]
+    fn adaptive_with_accepts_the_legal_shift_range() {
+        assert_eq!(
+            BatchPolicy::adaptive_with(1, 64),
+            BatchPolicy::Adaptive {
+                shift: 1,
+                min_population: 64
+            }
+        );
+        assert!(BatchPolicy::adaptive_with(63, 64).validate().is_ok());
+        assert!(BatchPolicy::PerStep.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must be in 1..64")]
+    fn adaptive_with_rejects_shift_zero() {
+        let _ = BatchPolicy::adaptive_with(0, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must be in 1..64")]
+    fn adaptive_with_rejects_shift_64() {
+        let _ = BatchPolicy::adaptive_with(64, 4096);
+    }
+
+    #[test]
+    fn validate_flags_hand_built_cap_violations() {
+        let bad = BatchPolicy::Adaptive {
+            shift: 0,
+            min_population: 2,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("1..64"), "unexpected message: {err}");
+        // The documented clamp still keeps literal-built policies safe.
+        assert_eq!(bad.batch_size(8), 4);
     }
 
     #[test]
@@ -692,7 +1050,7 @@ mod tests {
     fn policy_batch_sizes() {
         assert_eq!(BatchPolicy::PerStep.batch_size(1 << 20), 1);
         let p = BatchPolicy::adaptive();
-        assert_eq!(p.batch_size(1 << 20), 1 << 14);
+        assert_eq!(p.batch_size(1 << 20), 1 << 16);
         assert_eq!(p.batch_size(100), 1); // below min_population
         let tiny = BatchPolicy::Adaptive {
             shift: 0, // invalid: clamped to 1 so 2·batch ≤ n

@@ -31,12 +31,17 @@
 //! checks this by comparing convergence-time distributions.
 //!
 //! On top of the sequential path, [`UrnSim`] offers a **batched** sampling
-//! mode ([`UrnSim::steps_batched`], module [`batch`]): whole blocks of
-//! interactions are drawn as multinomial pair counts over the current urn,
-//! turning O(log |states|) tree walks per interaction into a handful of
-//! binomial draws per *batch*. Drivers accept a [`batch::BatchPolicy`]
-//! (`run_until_with`, `run_until_stable_with`, `sample_every_with`) that
-//! bounds predicate-check overshoot by one batch.
+//! mode ([`UrnSim::steps_batched`], module [`batch`]): interactions are
+//! drawn in exact sub-batches that alternate collision-free runs (bulk
+//! without-replacement draws, transitions applied per pair-bucket) with
+//! individually-resampled collision interactions, so a batch is *exactly*
+//! distributed as the same number of sequential steps — bit for bit under
+//! the shared interaction-trace decoding ([`UrnSim::steps_batched_traced`] /
+//! [`UrnSim::replay_interaction`]). Drivers accept a [`batch::BatchPolicy`]
+//! (`run_until_with`, `run_until_stable_with`, `sample_every_with`); their
+//! stopping times are exact first hits — a predicate hit inside a block is
+//! located by rewinding the block and replaying its recorded trace
+//! ([`protocol::Simulator::steps_until`]).
 //!
 //! Orthogonally, protocols whose transition factors through a
 //! (role bucket, clock phase) state split can be **compiled** into dense

@@ -122,6 +122,42 @@ pub trait Simulator {
         self.steps(k);
     }
 
+    /// Execute interactions until `pred` holds or `k` interactions have run,
+    /// batching internally where the engine supports it. Returns `true` iff
+    /// the predicate fired (including when it already holds on entry, where
+    /// no interaction runs).
+    ///
+    /// The contract is **exact first-hit semantics**: on return with `true`,
+    /// [`Simulator::interactions`] is exactly the sequential chain's first
+    /// interaction count at which `pred` is satisfied — no batch or
+    /// checkpoint quantisation. The default checks after every sequential
+    /// step; [`crate::UrnSim`] overrides this with a batched
+    /// record/rewind/replay implementation that probes at block granularity
+    /// and reconstructs the exact hit from the recorded interaction trace
+    /// (exact for the monotone stop predicates used in this repository; see
+    /// the override's documentation for the non-monotone caveat).
+    fn steps_until(
+        &mut self,
+        k: u64,
+        policy: &crate::batch::BatchPolicy,
+        pred: &mut dyn FnMut(&Self) -> bool,
+    ) -> bool
+    where
+        Self: Sized,
+    {
+        let _ = policy;
+        if pred(self) {
+            return true;
+        }
+        for _ in 0..k {
+            self.step();
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Number of agents per [`Output`] value, indexed by `Output as usize`.
     /// Maintained incrementally; O(1) to read.
     fn output_counts(&self) -> [u64; NUM_OUTPUTS];

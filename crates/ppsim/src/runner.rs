@@ -5,11 +5,14 @@
 //! `run_until_stable`, `sample_every`) checks its predicate after every
 //! single interaction — the exact sequential reference — and a `_with` form
 //! that takes a [`BatchPolicy`] and lets the engine execute whole batches
-//! between checks. Under a batching policy, stopping predicates are
-//! evaluated at batch boundaries only, so the reported stopping time can
-//! overshoot the first-hit time by at most one batch
-//! (`policy.batch_size(n)` interactions, i.e. 1/64 of a parallel time unit
-//! under the default policy).
+//! between checks. Stopping times are **exact first hits in both flavours**:
+//! the `_with` drivers delegate to [`Simulator::steps_until`], whose batched
+//! implementation probes the predicate at block boundaries but, on a hit,
+//! rewinds the block and replays its recorded interaction trace to the
+//! exact first interaction satisfying the predicate. No mode quantises
+//! stopping times to batch boundaries any more — the legacy approximate
+//! batch engine that did (overshoot up to one batch) was replaced by the
+//! exact collision-resampling engine in `ppsim::batch`.
 
 use crate::batch::BatchPolicy;
 use crate::protocol::Simulator;
@@ -28,39 +31,24 @@ pub struct RunResult {
 /// Run until `pred(sim)` holds or `max_interactions` have been executed,
 /// scheduling interactions between predicate checks according to `policy`.
 ///
-/// Under [`BatchPolicy::PerStep`] the predicate is evaluated after every
+/// The reported stopping time is the **exact first hit** under every
+/// policy: [`BatchPolicy::PerStep`] evaluates the predicate after every
 /// interaction (the engines keep the relevant counters incrementally, so
-/// this is O(1) per step) and the reported stopping time is the exact first
-/// hit. Under a batching policy, checks happen at batch boundaries: the
-/// stopping time overshoots the first hit by at most one batch, and the run
-/// still never exceeds the budget.
+/// this is O(1) per step), and batching policies delegate to the engine's
+/// [`Simulator::steps_until`], which reconstructs the exact hit inside the
+/// stopping block from its recorded interaction trace. The run never
+/// exceeds the budget.
 pub fn run_until_with<S: Simulator>(
     sim: &mut S,
     policy: &BatchPolicy,
     max_interactions: u64,
     mut pred: impl FnMut(&S) -> bool,
 ) -> RunResult {
-    let start = sim.interactions();
-    let budget = start.saturating_add(max_interactions);
-    loop {
-        if pred(sim) {
-            return RunResult {
-                converged: true,
-                interactions: sim.interactions(),
-                parallel_time: sim.parallel_time(),
-            };
-        }
-        if sim.interactions() >= budget {
-            return RunResult {
-                converged: false,
-                interactions: sim.interactions(),
-                parallel_time: sim.parallel_time(),
-            };
-        }
-        let chunk = policy
-            .batch_size(sim.population())
-            .min(budget - sim.interactions());
-        sim.steps_bulk(chunk, policy);
+    let converged = sim.steps_until(max_interactions, policy, &mut pred);
+    RunResult {
+        converged,
+        interactions: sim.interactions(),
+        parallel_time: sim.parallel_time(),
     }
 }
 
@@ -69,11 +57,15 @@ pub fn run_until_with<S: Simulator>(
 /// Implement this to observe coarse protocol progress (GSU19's
 /// fast-elimination countdown, a phase clock's rounds) without owning the
 /// drive loop; [`run_until_with_epochs`] polls
-/// [`Simulator::current_epoch`] at its scheduling boundaries and calls
-/// [`EpochObserver::on_epoch`] whenever the reported value changes
-/// (including the first `Some`). Transition times are therefore quantised
-/// to the driver's check granularity — one batch under a batching policy,
-/// one interaction under [`BatchPolicy::PerStep`].
+/// [`Simulator::current_epoch`] at its predicate checks and calls
+/// [`EpochObserver::on_epoch`] whenever the reported value climbs to a new
+/// maximum (including the first `Some`). Epochs are monotone for every
+/// protocol in this repository, so this fires once per entered epoch.
+/// Transition times are quantised to the driver's check granularity — one
+/// scheduling block under a batching policy (several epochs may be entered
+/// within one block, in which case only the frontier value is reported),
+/// one interaction under [`BatchPolicy::PerStep`]. Only the *stopping*
+/// time itself is exact under batching (see [`Simulator::steps_until`]).
 ///
 /// A closure `FnMut(&S, u32)` is an observer.
 pub trait EpochObserver<S: Simulator> {
@@ -92,7 +84,11 @@ impl<S: Simulator, F: FnMut(&S, u32)> EpochObserver<S> for F {
 ///
 /// Identical scheduling (and therefore an identical trajectory) to
 /// [`run_until_with`] — the epoch poll is a read-only observation at each
-/// predicate check, so adding an observer never changes the run.
+/// predicate check, so adding an observer never changes the run. The
+/// observer fires only when the epoch exceeds the highest value reported so
+/// far; this keeps the exact-stop rewind/replay of the batched engine
+/// (which revisits configurations the block probe already saw) from
+/// re-reporting transitions.
 pub fn run_until_with_epochs<S: Simulator>(
     sim: &mut S,
     policy: &BatchPolicy,
@@ -100,15 +96,14 @@ pub fn run_until_with_epochs<S: Simulator>(
     mut pred: impl FnMut(&S) -> bool,
     observer: &mut impl EpochObserver<S>,
 ) -> RunResult {
-    let mut last = sim.current_epoch();
-    if let Some(e) = last {
+    let mut max_fired = sim.current_epoch();
+    if let Some(e) = max_fired {
         observer.on_epoch(sim, e);
     }
     run_until_with(sim, policy, max_interactions, |s| {
-        let epoch = s.current_epoch();
-        if epoch != last {
-            last = epoch;
-            if let Some(e) = epoch {
+        if let Some(e) = s.current_epoch() {
+            if max_fired.is_none_or(|m| e > m) {
+                max_fired = Some(e);
                 observer.on_epoch(s, e);
             }
         }
@@ -130,7 +125,8 @@ pub fn run_until<S: Simulator>(
 
 /// Run until the configuration is stably elected (exactly one leader, no
 /// undecided agents) or the interaction budget is exhausted, scheduling
-/// according to `policy` (see [`run_until_with`] for overshoot semantics).
+/// according to `policy` (see [`run_until_with`]; the reported
+/// stabilisation time is the exact first hit under every policy).
 pub fn run_until_stable_with<S: Simulator>(
     sim: &mut S,
     policy: &BatchPolicy,
@@ -225,6 +221,17 @@ mod tests {
             }
         }
     }
+    impl crate::protocol::EnumerableProtocol for Slow {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_id(&self, s: bool) -> usize {
+            s as usize
+        }
+        fn state_from_id(&self, id: usize) -> bool {
+            id == 1
+        }
+    }
 
     #[test]
     fn budget_exhaustion_reports_not_converged() {
@@ -280,22 +287,23 @@ mod tests {
     }
 
     #[test]
-    fn batched_predicate_overshoot_is_at_most_one_batch() {
-        // Stopping predicates are checked at batch boundaries: the first
-        // check at or after the hit, never more than one batch late.
+    fn batched_predicate_stop_is_the_exact_first_hit() {
+        // Stopping predicates are probed at block boundaries, but a hit
+        // rewinds the block and replays its trace: the reported time is the
+        // exact first hit, with zero overshoot, even when the target sits
+        // strictly inside a block.
         let policy = BatchPolicy::Adaptive {
             shift: 6,
             min_population: 64,
         };
-        let n = 4096usize;
-        let batch = policy.batch_size(n as u64);
-        assert_eq!(batch, 64);
-        let target = 1_000u64; // deliberately not a multiple of the batch
-        let mut sim = AgentSim::new(Slow, n, 3);
+        let n = 4096u64;
+        let block = policy.batch_size(n);
+        assert_eq!(block, 64);
+        let target = 1_000u64; // deliberately not a multiple of the block
+        let mut sim = crate::UrnSim::new(Slow, n, 3);
         let res = run_until_with(&mut sim, &policy, 1 << 20, |s| s.interactions() >= target);
         assert!(res.converged);
-        assert_eq!(res.interactions, target.div_ceil(batch) * batch);
-        assert!(res.interactions - target < batch, "overshoot > one batch");
+        assert_eq!(res.interactions, target, "stop overshot the first hit");
     }
 
     /// Protocol whose states count pairwise meetings up to 3 and report

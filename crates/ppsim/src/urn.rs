@@ -16,9 +16,48 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::batch::{draw_without_replacement, hypergeometric, BatchPolicy};
+use crate::batch::{
+    collision_free_run, draw_without_replacement_sparse, hypergeometric, BatchPolicy,
+};
 use crate::fenwick::Fenwick;
 use crate::protocol::{EnumerableProtocol, Output, Simulator, NUM_OUTPUTS};
+
+/// Scale factor for the engine's internal sampling batches: sub-batches are
+/// `INNER_BATCH_SCALE · √n`, rounded down to a power of two. Per-sub-batch
+/// fixed cost (snapshot + merge, O(occupied)) shrinks with larger
+/// sub-batches while collision-handling cost grows as 2b²/n, so the optimum
+/// sits at Θ(√n); the constant was picked from the `engine_batched`
+/// criterion sweep on `Gsu19`.
+const INNER_BATCH_SCALE: u64 = 4;
+
+/// Size of the internal exact sub-batches [`UrnSim::steps_batched`] splits
+/// its scheduling blocks into: `INNER_BATCH_SCALE·√n` rounded down to a
+/// power of two (so power-of-two blocks subdivide without ragged tails),
+/// clamped into `[1, n/2]`. Exactness does not depend on this — every
+/// sub-batch is exactly distributed, and exact sampling composes — so it is
+/// purely a throughput knob.
+fn inner_batch_size(n: u64) -> u64 {
+    let target = ((n as f64).sqrt() as u64).saturating_mul(INNER_BATCH_SCALE);
+    let pow2 = if target <= 1 {
+        1
+    } else {
+        1u64 << (63 - target.leading_zeros())
+    };
+    pow2.clamp(1, (n / 2).max(1))
+}
+
+/// Collision patterns of the shuffled sub-batch path: which side of the
+/// colliding pair is a repeat (touched) agent. `PAT_NONE` marks a segment
+/// that ends the sub-batch without a collision.
+const PAT_TU: u8 = 0;
+const PAT_UT: u8 = 1;
+const PAT_TT: u8 = 2;
+const PAT_NONE: u8 = 3;
+
+/// Occupancy ceiling for the shuffled path's dense pair-transition cache
+/// (`occ²` entries). Above it — only brief transients for the protocols in
+/// this repo — transitions are evaluated directly instead.
+const PAIR_CACHE_MAX_OCC: usize = 256;
 
 /// Reusable buffers for [`UrnSim::step_batch`], kept across batches so the
 /// batched path never allocates in steady state.
@@ -26,22 +65,109 @@ use crate::protocol::{EnumerableProtocol, Output, Simulator, NUM_OUTPUTS};
 struct BatchScratch {
     /// Ids of states with non-zero multiplicity at the batch snapshot.
     occupied: Vec<usize>,
-    /// Multiplicities of `occupied` (parallel array), consumed as agents are
-    /// drawn out of the snapshot.
+    /// Multiplicities of the *untouched* agents per `occupied` slot
+    /// (parallel array), consumed as agents are drawn into the batch.
     pool: Vec<u64>,
-    /// Responder draw counts per occupied slot.
-    responders: Vec<u64>,
-    /// Initiator draw counts per occupied slot.
-    initiators: Vec<u64>,
-    /// Compact (occupied slot, remaining count) list of initiator mass,
-    /// consumed during pairing. At most `batch` entries, so pairing never
-    /// scans the full occupied set per row.
+    /// Sparse (occupied slot, count) responder draws of the current
+    /// collision-free run.
+    resp_nz: Vec<(u32, u64)>,
+    /// Sparse (occupied slot, remaining count) initiator mass of the current
+    /// run, consumed during pairing.
     init_nz: Vec<(u32, u64)>,
+    /// Post-update state multiset of the batch's *touched* agents (dense per
+    /// state id; collisions resample from this, which is what makes the
+    /// batch exact).
+    touched_counts: Vec<u64>,
+    /// State ids with non-zero `touched_counts`, in insertion order.
+    touched_ids: Vec<u32>,
+    /// Position of each id in `touched_ids` (`u32::MAX` when absent).
+    touched_pos: Vec<u32>,
     /// Net multiplicity change per state id accumulated over the batch
     /// (dense, zeroed after each apply).
     delta: Vec<i64>,
     /// State ids with possibly non-zero `delta` (may contain duplicates).
-    touched: Vec<usize>,
+    dirty: Vec<u32>,
+    /// Collision-free run length per segment of the current shuffled
+    /// sub-batch (scalar pre-pass output).
+    seg_runs: Vec<u64>,
+    /// Collision pattern ending each segment (`PAT_*`; `PAT_NONE` for the
+    /// final segment).
+    seg_pats: Vec<u8>,
+    /// Shuffled stream of fresh participants as occupied-slot indices, in
+    /// consumption order (shuffled sub-batch path).
+    flat: Vec<u32>,
+    /// Dense pair-transition memo for the shuffled path, keyed by
+    /// `responder_slot · occ + initiator_slot`: (generation stamp, responder
+    /// successor id, initiator successor id). Entries from older sub-batches
+    /// are invalidated by the generation stamp, never by clearing.
+    pair_cache: Vec<(u32, u32, u32)>,
+    /// Current generation of `pair_cache` (0 = never valid).
+    cache_gen: u32,
+    /// Recorded (responder, initiator) state-id pairs — the batch's implicit
+    /// sequential trace, in execution order (filled only when recording).
+    trace: Vec<(u32, u32)>,
+    /// Net deltas actually applied at each sub-batch merge, for rewinding
+    /// (filled only when recording).
+    undo: Vec<(u32, i64)>,
+    /// Start index in `undo` of each recorded sub-batch's segment.
+    undo_marks: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Add `m` agents of state `id` to the touched multiset.
+    #[inline]
+    fn touched_insert(&mut self, id: usize, m: u64) {
+        let c = self.touched_counts[id];
+        if c == 0 {
+            self.touched_pos[id] = self.touched_ids.len() as u32;
+            self.touched_ids.push(id as u32);
+        }
+        self.touched_counts[id] = c + m;
+    }
+
+    /// Remove one uniformly-chosen agent from the touched multiset (which
+    /// holds `total` agents), returning its state id.
+    #[inline]
+    fn touched_remove_one<R: Rng>(&mut self, rng: &mut R, total: u64) -> usize {
+        debug_assert!(total > 0);
+        let mut x = rng.gen_range(0..total);
+        let mut k = 0usize;
+        loop {
+            let id = self.touched_ids[k] as usize;
+            let c = self.touched_counts[id];
+            if x < c {
+                self.touched_counts[id] = c - 1;
+                if c == 1 {
+                    self.touched_pos[id] = u32::MAX;
+                    self.touched_ids.swap_remove(k);
+                    if k < self.touched_ids.len() {
+                        self.touched_pos[self.touched_ids[k] as usize] = k as u32;
+                    }
+                }
+                return id;
+            }
+            x -= c;
+            k += 1;
+        }
+    }
+
+    /// Remove one uniformly-chosen agent from the untouched pool (which
+    /// holds `untouched` agents), returning its state id.
+    #[inline]
+    fn pool_draw_one<R: Rng>(&mut self, rng: &mut R, untouched: u64) -> usize {
+        debug_assert!(untouched > 0);
+        let mut x = rng.gen_range(0..untouched);
+        let mut j = 0usize;
+        loop {
+            let c = self.pool[j];
+            if x < c {
+                self.pool[j] = c - 1;
+                return self.occupied[j];
+            }
+            x -= c;
+            j += 1;
+        }
+    }
 }
 
 /// Urn simulator over an [`EnumerableProtocol`].
@@ -187,14 +313,17 @@ impl<P: EnumerableProtocol> UrnSim<P> {
     /// Execute `k` interactions, sampling whole batches at once where
     /// `policy` allows it.
     ///
-    /// Equivalent in distribution (up to the O(batch/n) within-batch
-    /// approximation documented in [`crate::batch`]) to `k` calls of
-    /// [`Simulator::step`], but orders of magnitude faster on large
-    /// populations: a batch of `b` interactions is sampled as one multiset of
-    /// (responder, initiator) state pairs and the transition is applied per
-    /// pair-bucket in bulk. Falls back to per-step sampling whenever the
-    /// policy's batch size is 1 (per-step policy, small population) or fewer
-    /// than 4 interactions remain to be scheduled in a block.
+    /// *Exactly* equivalent in distribution to `k` calls of
+    /// [`Simulator::step`] (see [`crate::batch`]): each batch alternates
+    /// collision-free runs of fresh agents with individually-sampled
+    /// collision interactions whose repeat participants are resampled from
+    /// the post-update touched multiset, so the batch is bit-for-bit a
+    /// sequential chain under the shared trace decoding. The policy's block
+    /// size is a *scheduling* granularity only — internally each block is
+    /// split into [`inner_batch_size`] sub-batches (≈√n) so sampling cost
+    /// stays optimal regardless of how coarse the blocks are. Falls back to
+    /// per-step sampling whenever the policy's block size is < 4 (per-step
+    /// policy, small population) or would exceed n/2.
     ///
     /// Deterministic: a fixed (seed, `k`, `policy`) triple always produces
     /// the same configuration. Note the RNG consumption differs from the
@@ -203,103 +332,515 @@ impl<P: EnumerableProtocol> UrnSim<P> {
     pub fn steps_batched(&mut self, k: u64, policy: &BatchPolicy) {
         let mut left = k;
         while left > 0 {
-            let b = policy.batch_size(self.population).min(left);
+            let block = policy.batch_size(self.population).min(left);
             // Batches need 2b ≤ n distinct agents; tiny remainders are
             // cheaper sequentially than through the batch machinery. The
             // half-check divides rather than doubling so hand-built
             // policies can never wrap it.
-            if b < 4 || b > self.population / 2 {
+            if block < 4 || block > self.population / 2 {
                 self.step();
                 left -= 1;
                 continue;
             }
-            self.step_batch(b);
-            left -= b;
+            let inner = inner_batch_size(self.population);
+            let mut rem = block;
+            while rem > 0 {
+                let b = inner.min(rem);
+                self.step_batch(b, false);
+                rem -= b;
+            }
+            left -= block;
         }
     }
 
-    /// Sample and apply one batch of exactly `b` interactions (`2b ≤ n`).
-    ///
-    /// 1. Snapshot the occupied states.
-    /// 2. Draw `b` responders, then `b` initiators, without replacement.
-    /// 3. Pair the two halves uniformly: for each responder state, distribute
-    ///    its draws over the remaining initiator multiset.
-    /// 4. Apply `δ` once per (responder, initiator) bucket and replay the net
-    ///    multiplicity changes into the Fenwick tree.
-    fn step_batch(&mut self, b: u64) {
-        debug_assert!(b >= 1 && 2 * b <= self.population);
-        // Detach the scratch buffers so the borrow checker lets the apply
-        // phase call back into `self`; Vec capacities survive the round trip.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.delta.resize(self.counts.len(), 0);
-
-        // 1. Snapshot occupied states into parallel (id, multiplicity)
-        //    arrays — O(occupied), thanks to the incremental occupancy index.
-        scratch.occupied.clear();
-        scratch.pool.clear();
-        for &id in &self.occupied_ids {
-            scratch.occupied.push(id);
-            scratch.pool.push(self.counts[id]);
-        }
-
-        // 2. Roles: b responders, then b initiators from the rest. The
-        //    without-replacement draws make the batch an exchangeable block
-        //    of 2b distinct agents.
-        let mut pool_total = self.population;
-        draw_without_replacement(
-            &mut self.rng,
-            b,
-            &mut scratch.pool,
-            &mut pool_total,
-            &mut scratch.responders,
-        );
-        draw_without_replacement(
-            &mut self.rng,
-            b,
-            &mut scratch.pool,
-            &mut pool_total,
-            &mut scratch.initiators,
-        );
-        for (j, &id) in scratch.occupied.iter().enumerate() {
-            let removed = scratch.responders[j] + scratch.initiators[j];
-            if removed > 0 {
-                scratch.delta[id] -= removed as i64;
-                scratch.touched.push(id);
-            }
-        }
-
-        // 3 + 4. Uniform pairing row by row, applying δ per bucket. The
-        // initiator mass lives in a compact (slot, count) list — at most b
-        // entries, lazily compacted as slots exhaust — so a row's
-        // conditional chain only visits slots that can still supply
-        // partners.
-        scratch.init_nz.clear();
-        for (jj, &c) in scratch.initiators.iter().enumerate() {
-            if c > 0 {
-                scratch.init_nz.push((jj as u32, c));
-            }
-        }
-        let mut initiators_left = b;
-        for j in 0..scratch.occupied.len() {
-            let r_draws = scratch.responders[j];
-            if r_draws == 0 {
+    /// Like [`UrnSim::steps_batched`], but also appends the batch's implicit
+    /// sequential trace — the ordered (responder, initiator) state-id pairs
+    /// of every interaction — to `out`. Replaying the trace pair-by-pair
+    /// with [`UrnSim::replay_interaction`] from the starting configuration
+    /// reproduces this simulator's configuration bit for bit; the
+    /// equivalence suite uses this as the shared decoding that promotes the
+    /// batched-vs-sequential gates from statistical to bit-level.
+    pub fn steps_batched_traced(
+        &mut self,
+        k: u64,
+        policy: &BatchPolicy,
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        let mut left = k;
+        while left > 0 {
+            let block = policy.batch_size(self.population).min(left);
+            if block < 4 || block > self.population / 2 {
+                let (r_id, i_id) = self.step_ids();
+                out.push((r_id as u32, i_id as u32));
+                self.finish_pair(r_id, i_id);
+                left -= 1;
                 continue;
             }
-            let r_id = scratch.occupied[j];
+            self.scratch.trace.clear();
+            self.scratch.undo.clear();
+            self.scratch.undo_marks.clear();
+            let inner = inner_batch_size(self.population);
+            let mut rem = block;
+            while rem > 0 {
+                let b = inner.min(rem);
+                self.step_batch(b, true);
+                rem -= b;
+            }
+            out.extend_from_slice(&self.scratch.trace);
+            left -= block;
+        }
+    }
+
+    /// Sample and apply one exact sub-batch of `b` interactions (`2b ≤ n`),
+    /// dispatching between the two interchangeable exact samplers.
+    ///
+    /// Both paths draw the same process — the distribution of a sub-batch is
+    /// exactly that of `b` sequential steps — but their costs scale
+    /// differently with the number of occupied states `occ` and the expected
+    /// collision-free run length:
+    ///
+    /// * the **bucketized** path ([`UrnSim::step_batch_bucketed`]) pays
+    ///   Θ(occ + cells) of hypergeometric work *per segment*, amortised over
+    ///   the segment's run — a win when runs dwarf `occ²` (huge n, or
+    ///   protocols with a handful of states);
+    /// * the **shuffled** path ([`UrnSim::step_batch_shuffled`]) pays O(1)
+    ///   per interaction (a memoized pair transition plus stream reads)
+    ///   after one composition draw and one Fisher–Yates shuffle per
+    ///   sub-batch — a win whenever runs are short relative to `occ²`.
+    ///
+    /// The dispatch predicate compares the expected run length
+    /// `b / (1 + b²/n)` (the sub-batch's interactions divided by its
+    /// expected segment count) against `occ²`, and is a deterministic
+    /// function of (b, n, occupancy), so same-seed runs always pick the same
+    /// path and chunked execution stays bit-reproducible.
+    fn step_batch(&mut self, b: u64, record: bool) {
+        let bf = b as f64;
+        let avg_run = bf / (1.0 + bf * bf / self.population as f64);
+        let occ = self.occupied_ids.len() as f64;
+        if avg_run >= occ * occ {
+            self.step_batch_bucketed(b, record);
+        } else {
+            self.step_batch_shuffled(b, record);
+        }
+    }
+
+    /// Detach the scratch buffers (so the borrow checker lets the sampling
+    /// phase call back into `self`; Vec capacities survive the round trip),
+    /// size the dense maps, and snapshot the occupied states into parallel
+    /// (id, multiplicity) arrays — O(occupied), thanks to the incremental
+    /// occupancy index.
+    fn begin_sub_batch(&mut self) -> BatchScratch {
+        let mut sc = std::mem::take(&mut self.scratch);
+        let s = self.counts.len();
+        sc.delta.resize(s, 0);
+        sc.touched_counts.resize(s, 0);
+        sc.touched_pos.resize(s, u32::MAX);
+        sc.occupied.clear();
+        sc.pool.clear();
+        for &id in &self.occupied_ids {
+            sc.occupied.push(id);
+            sc.pool.push(self.counts[id]);
+        }
+        sc
+    }
+
+    /// Merge a sub-batch's accumulated deltas into the counts mirror, the
+    /// Fenwick tree, the occupancy index and the output counters, reset the
+    /// touched multiset, and hand the scratch buffers back. `dirty` may hold
+    /// duplicates; zeroing `delta` on apply makes repeats no-ops, so the
+    /// undo log gets at most one entry per state id per sub-batch.
+    fn merge_sub_batch(&mut self, mut sc: BatchScratch, record: bool) {
+        if record {
+            sc.undo_marks.push(sc.undo.len());
+        }
+        for k in 0..sc.dirty.len() {
+            let id = sc.dirty[k] as usize;
+            let d = sc.delta[id];
+            if d != 0 {
+                sc.delta[id] = 0;
+                self.add_count(id, d);
+                self.urn.add(id, d);
+                let o = self.output_of[id] as usize;
+                self.output_counts[o] = (self.output_counts[o] as i64 + d) as u64;
+                if record {
+                    sc.undo.push((id as u32, d));
+                }
+            }
+        }
+        sc.dirty.clear();
+        for &id in &sc.touched_ids {
+            sc.touched_counts[id as usize] = 0;
+            sc.touched_pos[id as usize] = u32::MAX;
+        }
+        sc.touched_ids.clear();
+        self.scratch = sc;
+        debug_assert_eq!(self.urn.total(), self.population);
+    }
+
+    /// Bucketized exact sub-batch sampler.
+    ///
+    /// The batch alternates two kinds of segment until `b` interactions are
+    /// placed:
+    ///
+    /// 1. A **collision-free run**: its length is drawn from the exact
+    ///    survival distribution ([`collision_free_run`]), its `2·run` agents
+    ///    are a without-replacement sample from the untouched pool (sparse
+    ///    conditional hypergeometric chains), and the two role halves are
+    ///    paired uniformly. The transition is applied once per
+    ///    (responder, initiator) bucket.
+    /// 2. A **collision interaction**: at least one participant has already
+    ///    interacted this batch. The role pattern (touched/untouched) is
+    ///    drawn from the exact conditional weights `u : u : t−1`, the
+    ///    touched participants uniformly from the *post-update* touched
+    ///    multiset, and the fresh participant (if any) from the pool.
+    ///
+    /// Net multiplicity changes merge into the Fenwick tree, counts mirror,
+    /// occupancy index and output counters at the end. With `record`, the
+    /// interaction trace and the merged deltas are logged so a caller can
+    /// rewind the batch and replay it pair-by-pair (exact predicate stops).
+    fn step_batch_bucketed(&mut self, b: u64, record: bool) {
+        debug_assert!(b >= 1 && 2 * b <= self.population);
+        let mut sc = self.begin_sub_batch();
+        let n = self.population;
+        let mut untouched = n;
+        let mut touched_total = 0u64;
+        let mut done = 0u64;
+        while done < b {
+            let run = collision_free_run(&mut self.rng, n, untouched, b - done);
+            if run > 0 {
+                // Roles: `run` responders, then `run` initiators from the
+                // rest — one exchangeable without-replacement block.
+                let mut pool_total = untouched;
+                draw_without_replacement_sparse(
+                    &mut self.rng,
+                    run,
+                    &mut sc.pool,
+                    &mut pool_total,
+                    &mut sc.resp_nz,
+                );
+                draw_without_replacement_sparse(
+                    &mut self.rng,
+                    run,
+                    &mut sc.pool,
+                    &mut pool_total,
+                    &mut sc.init_nz,
+                );
+                untouched -= 2 * run;
+                touched_total += 2 * run;
+                self.pair_and_apply(&mut sc, run, record);
+                done += run;
+                if done == b {
+                    break;
+                }
+            }
+            // The run ended before the batch budget: the next interaction is
+            // a collision. Pattern weights over ordered (responder,
+            // initiator) role pairs, conditioned on "not both fresh":
+            // (touched, fresh) : (fresh, touched) : (touched, touched)
+            //   =    u         :       u          :       t − 1.
+            let t = touched_total;
+            let u = untouched;
+            debug_assert!(t > 0, "a collision needs at least one touched agent");
+            let w = 2.0 * u as f64 + (t - 1) as f64;
+            let x = self.rng.gen::<f64>() * w;
+            let (r_id, i_id) = if x < u as f64 {
+                let r = sc.touched_remove_one(&mut self.rng, t);
+                let i = sc.pool_draw_one(&mut self.rng, u);
+                untouched -= 1;
+                touched_total += 1;
+                (r, i)
+            } else if x < 2.0 * u as f64 {
+                let r = sc.pool_draw_one(&mut self.rng, u);
+                let i = sc.touched_remove_one(&mut self.rng, t);
+                untouched -= 1;
+                touched_total += 1;
+                (r, i)
+            } else {
+                let r = sc.touched_remove_one(&mut self.rng, t);
+                let i = sc.touched_remove_one(&mut self.rng, t - 1);
+                (r, i)
+            };
+            let (r_new, i_new) = self
+                .protocol
+                .transition(self.state_of[r_id], self.state_of[i_id]);
+            let rn_id = self.protocol.state_id(r_new);
+            let in_id = self.protocol.state_id(i_new);
+            sc.delta[r_id] -= 1;
+            sc.delta[i_id] -= 1;
+            sc.delta[rn_id] += 1;
+            sc.delta[in_id] += 1;
+            sc.dirty.push(r_id as u32);
+            sc.dirty.push(i_id as u32);
+            sc.dirty.push(rn_id as u32);
+            sc.dirty.push(in_id as u32);
+            sc.touched_insert(rn_id, 1);
+            sc.touched_insert(in_id, 1);
+            if record {
+                sc.trace.push((r_id as u32, i_id as u32));
+            }
+            done += 1;
+        }
+        self.interactions += b;
+        self.merge_sub_batch(sc, record);
+    }
+
+    /// Shuffled-stream exact sub-batch sampler.
+    ///
+    /// Same process as [`UrnSim::step_batch_bucketed`], factored so the
+    /// per-interaction cost is O(1) instead of per-segment hypergeometric
+    /// chains:
+    ///
+    /// 1. **Scalar pre-pass** — the segment structure (collision-free run
+    ///    lengths, collision patterns) is sampled first, tracking only the
+    ///    untouched/touched counters. Both distributions depend on the
+    ///    counters alone, never on participant identities, so this is the
+    ///    exact marginal of the sequential chain's segment structure.
+    /// 2. **One composition draw** — the pre-pass fixes the total number of
+    ///    fresh participants `F`; their state composition is one
+    ///    without-replacement draw of `F` agents from the snapshot pool.
+    ///    Fresh draws never depend on the touched multiset, so the fresh
+    ///    subsequence of the sequential chain *is* a without-replacement
+    ///    sample of size `F` — and a uniform shuffle (Fisher–Yates) of that
+    ///    sample recovers the sequential draw order exactly
+    ///    (exchangeability).
+    /// 3. **Apply** — segments are applied in order, consuming the shuffled
+    ///    stream pairwise for run interactions and one entry per fresh
+    ///    collision participant; touched collision participants are drawn
+    ///    from the live post-update touched multiset exactly as in the
+    ///    bucketized path. Run transitions go through a generation-stamped
+    ///    dense (responder slot, initiator slot) memo, so the protocol's
+    ///    transition function runs at most once per ordered state pair per
+    ///    sub-batch.
+    ///
+    /// Delta accounting differs from the bucketized path in one spot: fresh
+    /// participants are subtracted from the configuration in bulk at the
+    /// composition draw, so collision handling only subtracts the touched
+    /// sides. Trace, undo and merge machinery are shared.
+    fn step_batch_shuffled(&mut self, b: u64, record: bool) {
+        debug_assert!(b >= 1 && 2 * b <= self.population);
+        let mut sc = self.begin_sub_batch();
+        let n = self.population;
+
+        // Phase 1: scalar pre-pass over the segment structure.
+        sc.seg_runs.clear();
+        sc.seg_pats.clear();
+        let mut untouched = n;
+        let mut touched_total = 0u64;
+        let mut fresh = 0u64;
+        let mut done = 0u64;
+        loop {
+            let run = collision_free_run(&mut self.rng, n, untouched, b - done);
+            sc.seg_runs.push(run);
+            untouched -= 2 * run;
+            touched_total += 2 * run;
+            fresh += 2 * run;
+            done += run;
+            if done == b {
+                sc.seg_pats.push(PAT_NONE);
+                break;
+            }
+            // Pattern weights over ordered (responder, initiator) role
+            // pairs, conditioned on "not both fresh" — identical to the
+            // bucketized path's collision branch.
+            let t = touched_total;
+            let u = untouched;
+            debug_assert!(t > 0, "a collision needs at least one touched agent");
+            let w = 2.0 * u as f64 + (t - 1) as f64;
+            let x = self.rng.gen::<f64>() * w;
+            let pat = if x < u as f64 {
+                PAT_TU
+            } else if x < 2.0 * u as f64 {
+                PAT_UT
+            } else {
+                PAT_TT
+            };
+            if pat != PAT_TT {
+                untouched -= 1;
+                touched_total += 1;
+                fresh += 1;
+            }
+            sc.seg_pats.push(pat);
+            done += 1;
+        }
+
+        // Phase 2: one composition draw for all fresh participants, with
+        // their bulk removal from the configuration.
+        let mut pool_total = n;
+        draw_without_replacement_sparse(
+            &mut self.rng,
+            fresh,
+            &mut sc.pool,
+            &mut pool_total,
+            &mut sc.resp_nz,
+        );
+        for &(j, c) in &sc.resp_nz {
+            let id = sc.occupied[j as usize];
+            sc.delta[id] -= c as i64;
+            sc.dirty.push(id as u32);
+        }
+
+        // Phase 3: expand the composition into a flat slot stream and
+        // shuffle it uniformly.
+        sc.flat.clear();
+        sc.flat.reserve(fresh as usize);
+        for &(j, c) in &sc.resp_nz {
+            for _ in 0..c {
+                sc.flat.push(j);
+            }
+        }
+        sc.resp_nz.clear();
+        debug_assert_eq!(sc.flat.len() as u64, fresh);
+        for i in (1..sc.flat.len()).rev() {
+            let j = self.rng.gen_range(0..=(i as u64)) as usize;
+            sc.flat.swap(i, j);
+        }
+
+        // Phase 4: apply the segments against the shuffled stream.
+        let occ = sc.occupied.len();
+        let use_cache = occ <= PAIR_CACHE_MAX_OCC;
+        if use_cache {
+            sc.pair_cache.resize(occ * occ, (0, 0, 0));
+            sc.cache_gen = sc.cache_gen.wrapping_add(1);
+            if sc.cache_gen == 0 {
+                // Generation counter wrapped: old stamps could collide, so
+                // invalidate everything once and restart at 1.
+                for e in &mut sc.pair_cache {
+                    e.0 = 0;
+                }
+                sc.cache_gen = 1;
+            }
+        }
+        let gen = sc.cache_gen;
+        let mut idx = 0usize;
+        let mut t_live = 0u64;
+        for si in 0..sc.seg_runs.len() {
+            for _ in 0..sc.seg_runs[si] {
+                let jr = sc.flat[idx];
+                let ji = sc.flat[idx + 1];
+                idx += 2;
+                let r_id = sc.occupied[jr as usize];
+                let i_id = sc.occupied[ji as usize];
+                let (rn_id, in_id) = if use_cache {
+                    let key = jr as usize * occ + ji as usize;
+                    let e = sc.pair_cache[key];
+                    if e.0 == gen {
+                        (e.1 as usize, e.2 as usize)
+                    } else {
+                        let (r_new, i_new) = self
+                            .protocol
+                            .transition(self.state_of[r_id], self.state_of[i_id]);
+                        let rn = self.protocol.state_id(r_new);
+                        let inn = self.protocol.state_id(i_new);
+                        sc.pair_cache[key] = (gen, rn as u32, inn as u32);
+                        (rn, inn)
+                    }
+                } else {
+                    let (r_new, i_new) = self
+                        .protocol
+                        .transition(self.state_of[r_id], self.state_of[i_id]);
+                    (self.protocol.state_id(r_new), self.protocol.state_id(i_new))
+                };
+                sc.delta[rn_id] += 1;
+                sc.delta[in_id] += 1;
+                sc.dirty.push(rn_id as u32);
+                sc.dirty.push(in_id as u32);
+                sc.touched_insert(rn_id, 1);
+                sc.touched_insert(in_id, 1);
+                if record {
+                    sc.trace.push((r_id as u32, i_id as u32));
+                }
+            }
+            t_live += 2 * sc.seg_runs[si];
+            let pat = sc.seg_pats[si];
+            if pat == PAT_NONE {
+                break;
+            }
+            let (r_id, i_id) = match pat {
+                PAT_TU => {
+                    let r = sc.touched_remove_one(&mut self.rng, t_live);
+                    t_live -= 1;
+                    let i = sc.occupied[sc.flat[idx] as usize];
+                    idx += 1;
+                    sc.delta[r] -= 1;
+                    sc.dirty.push(r as u32);
+                    (r, i)
+                }
+                PAT_UT => {
+                    let r = sc.occupied[sc.flat[idx] as usize];
+                    idx += 1;
+                    let i = sc.touched_remove_one(&mut self.rng, t_live);
+                    t_live -= 1;
+                    sc.delta[i] -= 1;
+                    sc.dirty.push(i as u32);
+                    (r, i)
+                }
+                _ => {
+                    let r = sc.touched_remove_one(&mut self.rng, t_live);
+                    let i = sc.touched_remove_one(&mut self.rng, t_live - 1);
+                    t_live -= 2;
+                    sc.delta[r] -= 1;
+                    sc.delta[i] -= 1;
+                    sc.dirty.push(r as u32);
+                    sc.dirty.push(i as u32);
+                    (r, i)
+                }
+            };
+            let (r_new, i_new) = self
+                .protocol
+                .transition(self.state_of[r_id], self.state_of[i_id]);
+            let rn_id = self.protocol.state_id(r_new);
+            let in_id = self.protocol.state_id(i_new);
+            sc.delta[rn_id] += 1;
+            sc.delta[in_id] += 1;
+            sc.dirty.push(rn_id as u32);
+            sc.dirty.push(in_id as u32);
+            sc.touched_insert(rn_id, 1);
+            sc.touched_insert(in_id, 1);
+            t_live += 2;
+            if record {
+                sc.trace.push((r_id as u32, i_id as u32));
+            }
+        }
+        debug_assert_eq!(idx as u64, fresh, "shuffled stream fully consumed");
+        self.interactions += b;
+        self.merge_sub_batch(sc, record);
+    }
+
+    /// Pair the current run's responder and initiator halves uniformly and
+    /// apply the transition per (responder, initiator) bucket, accumulating
+    /// deltas and the post-update touched multiset in `sc`.
+    fn pair_and_apply(&mut self, sc: &mut BatchScratch, run: u64, record: bool) {
+        // Removing the drawn agents from the configuration.
+        for &(j, c) in &sc.resp_nz {
+            let id = sc.occupied[j as usize];
+            sc.delta[id] -= c as i64;
+            sc.dirty.push(id as u32);
+        }
+        for &(j, c) in &sc.init_nz {
+            let id = sc.occupied[j as usize];
+            sc.delta[id] -= c as i64;
+            sc.dirty.push(id as u32);
+        }
+        // Uniform pairing row by row: for each responder state, distribute
+        // its draws over the remaining initiator multiset with a conditional
+        // multivariate-hypergeometric chain (same scheme and clamps as
+        // `draw_without_replacement`, on the compact list, lazily compacted
+        // as slots exhaust).
+        let mut initiators_left = run;
+        for ri in 0..sc.resp_nz.len() {
+            let (j, r_draws) = sc.resp_nz[ri];
+            let r_id = sc.occupied[j as usize];
             let r_state = self.state_of[r_id];
-            // Conditional multivariate-hypergeometric chain over the
-            // remaining initiator multiset (same scheme and clamps as
-            // `draw_without_replacement`, on the compact list).
             let mut draws_left = r_draws;
             let mut total_left = initiators_left;
             let mut idx = 0usize;
             while draws_left > 0 {
-                debug_assert!(idx < scratch.init_nz.len());
-                let (jj, c) = scratch.init_nz[idx];
+                debug_assert!(idx < sc.init_nz.len());
+                let (jj, c) = sc.init_nz[idx];
                 if c == 0 {
                     // Exhausted by an earlier row: drop it (swap_remove
                     // pulls in a not-yet-visited entry, so don't advance).
-                    scratch.init_nz.swap_remove(idx);
+                    sc.init_nz.swap_remove(idx);
                     continue;
                 }
                 let m = if total_left == c {
@@ -316,69 +857,50 @@ impl<P: EnumerableProtocol> UrnSim<P> {
                 if m == 0 {
                     continue;
                 }
-                scratch.init_nz[idx - 1].1 = c - m;
+                sc.init_nz[idx - 1].1 = c - m;
                 draws_left -= m;
 
-                let i_id = scratch.occupied[jj as usize];
+                let i_id = sc.occupied[jj as usize];
                 let (r_new, i_new) = self.protocol.transition(r_state, self.state_of[i_id]);
                 let rn_id = self.protocol.state_id(r_new);
                 let in_id = self.protocol.state_id(i_new);
-                scratch.delta[rn_id] += m as i64;
-                scratch.delta[in_id] += m as i64;
-                scratch.touched.push(rn_id);
-                scratch.touched.push(in_id);
-                if rn_id != r_id {
-                    self.output_counts[self.output_of[r_id] as usize] -= m;
-                    self.output_counts[self.output_of[rn_id] as usize] += m;
-                }
-                if in_id != i_id {
-                    self.output_counts[self.output_of[i_id] as usize] -= m;
-                    self.output_counts[self.output_of[in_id] as usize] += m;
+                sc.delta[rn_id] += m as i64;
+                sc.delta[in_id] += m as i64;
+                sc.dirty.push(rn_id as u32);
+                sc.dirty.push(in_id as u32);
+                sc.touched_insert(rn_id, m);
+                sc.touched_insert(in_id, m);
+                if record {
+                    for _ in 0..m {
+                        sc.trace.push((r_id as u32, i_id as u32));
+                    }
                 }
             }
             initiators_left -= r_draws;
         }
         debug_assert_eq!(initiators_left, 0);
-        self.interactions += b;
-
-        // Replay net changes into counts and the Fenwick tree. `touched` may
-        // hold duplicates; zeroing `delta` on apply makes repeats no-ops.
-        for &id in &scratch.touched {
-            let d = scratch.delta[id];
-            if d != 0 {
-                scratch.delta[id] = 0;
-                self.add_count(id, d);
-                self.urn.add(id, d);
-            }
-        }
-        scratch.touched.clear();
-        self.scratch = scratch;
-        debug_assert_eq!(self.urn.total(), self.population);
-    }
-}
-
-impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
-    type State = P::State;
-
-    fn population(&self) -> u64 {
-        self.population
+        sc.resp_nz.clear();
+        sc.init_nz.clear();
     }
 
-    fn interactions(&self) -> u64 {
-        self.interactions
-    }
-
+    /// Draw an interaction pair and remove both balls from the urn; the
+    /// caller finishes the interaction with [`UrnSim::finish_pair`].
     #[inline]
-    fn step(&mut self) {
-        // Draw responder, remove it from the urn, draw initiator from the
-        // remaining n-1 balls, then reinsert the post-transition states.
+    fn step_ids(&mut self) -> (usize, usize) {
         let r_id = self.urn.find(self.rng.gen_range(0..self.population));
         self.urn.add(r_id, -1);
         self.add_count(r_id, -1);
         let i_id = self.urn.find(self.rng.gen_range(0..self.population - 1));
         self.urn.add(i_id, -1);
         self.add_count(i_id, -1);
+        (r_id, i_id)
+    }
 
+    /// Apply the transition to a drawn (responder, initiator) pair whose
+    /// balls have already been removed, reinsert the post-transition states
+    /// and update the interaction and output counters.
+    #[inline]
+    fn finish_pair(&mut self, r_id: usize, i_id: usize) {
         let (r_new, i_new) = self
             .protocol
             .transition(self.state_of[r_id], self.state_of[i_id]);
@@ -400,9 +922,154 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
         }
     }
 
+    /// Apply one interaction with *given* participant states: remove one
+    /// ball of `r_id` and one of `i_id`, apply the transition, reinsert.
+    ///
+    /// This is the decoding side of the shared interaction trace: replaying
+    /// a recorded batch trace pair-by-pair from the batch's starting
+    /// configuration reproduces the batched engine's configurations — and
+    /// every prefix is a configuration the sequential chain visits, which is
+    /// what makes exact predicate stops possible.
+    ///
+    /// # Panics
+    /// In debug builds, panics if either state has no balls left.
+    pub fn replay_interaction(&mut self, r_id: u32, i_id: u32) {
+        let (r_id, i_id) = (r_id as usize, i_id as usize);
+        debug_assert!(self.counts[r_id] >= 1, "replay: responder state empty");
+        self.urn.add(r_id, -1);
+        self.add_count(r_id, -1);
+        debug_assert!(self.counts[i_id] >= 1, "replay: initiator state empty");
+        self.urn.add(i_id, -1);
+        self.add_count(i_id, -1);
+        self.finish_pair(r_id, i_id);
+    }
+
+    /// Rewind the most recent recorded block of `block` interactions: apply
+    /// the logged sub-batch merge deltas in reverse segment order (each
+    /// segment is an exact inverse, so counts never go transiently
+    /// negative) and roll back the interaction and output counters.
+    fn rewind_block(&mut self, block: u64) {
+        let undo = std::mem::take(&mut self.scratch.undo);
+        let marks = std::mem::take(&mut self.scratch.undo_marks);
+        for seg in (0..marks.len()).rev() {
+            let start = marks[seg];
+            let end = if seg + 1 < marks.len() {
+                marks[seg + 1]
+            } else {
+                undo.len()
+            };
+            for &(id, d) in &undo[start..end] {
+                let id = id as usize;
+                self.urn.add(id, -d);
+                self.add_count(id, -d);
+                let o = self.output_of[id] as usize;
+                self.output_counts[o] = (self.output_counts[o] as i64 - d) as u64;
+            }
+        }
+        self.interactions -= block;
+        // Hand the (cleared) buffers back so their capacity is reused.
+        let mut undo = undo;
+        undo.clear();
+        let mut marks = marks;
+        marks.clear();
+        self.scratch.undo = undo;
+        self.scratch.undo_marks = marks;
+        debug_assert_eq!(self.urn.total(), self.population);
+    }
+}
+
+impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
+    type State = P::State;
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        // Draw responder, remove it from the urn, draw initiator from the
+        // remaining n-1 balls, then reinsert the post-transition states.
+        let (r_id, i_id) = self.step_ids();
+        self.finish_pair(r_id, i_id);
+    }
+
     /// Batched bulk execution: delegates to [`UrnSim::steps_batched`].
     fn steps_bulk(&mut self, k: u64, policy: &BatchPolicy) {
         self.steps_batched(k, policy);
+    }
+
+    /// Batched predicate stop with *exact* first-hit semantics.
+    ///
+    /// Blocks are executed with trace recording; the predicate is probed at
+    /// block granularity (cheap), and when it flips the block is rewound and
+    /// replayed pair-by-pair from its recorded trace to find the exact first
+    /// interaction after which the predicate holds. For the monotone /
+    /// eventually-stable predicates this repo uses (stable election, census
+    /// thresholds) the reported count is therefore exactly the sequential
+    /// chain's first-hit time; for a non-monotone predicate it is the first
+    /// hit *within the first block whose endpoint satisfies it* (earlier
+    /// transient flips strictly inside an unsatisfied block are not probed).
+    fn steps_until(
+        &mut self,
+        k: u64,
+        policy: &BatchPolicy,
+        pred: &mut dyn FnMut(&Self) -> bool,
+    ) -> bool {
+        if pred(self) {
+            return true;
+        }
+        let mut left = k;
+        while left > 0 {
+            let block = policy.batch_size(self.population).min(left);
+            if block < 4 || block > self.population / 2 {
+                self.step();
+                left -= 1;
+                if pred(self) {
+                    return true;
+                }
+                continue;
+            }
+            self.scratch.trace.clear();
+            self.scratch.undo.clear();
+            self.scratch.undo_marks.clear();
+            let inner = inner_batch_size(self.population);
+            let mut rem = block;
+            while rem > 0 {
+                let b = inner.min(rem);
+                self.step_batch(b, true);
+                rem -= b;
+            }
+            left -= block;
+            if pred(self) {
+                // The predicate flipped somewhere inside this block: rewind
+                // it and replay the recorded trace one interaction at a time
+                // until the predicate first holds. A full replay reproduces
+                // the block-end configuration bit for bit, so the loop is
+                // guaranteed to terminate with the predicate satisfied.
+                self.rewind_block(block);
+                let trace = std::mem::take(&mut self.scratch.trace);
+                let mut hit = false;
+                for &(r, i) in &trace {
+                    self.replay_interaction(r, i);
+                    if pred(self) {
+                        hit = true;
+                        break;
+                    }
+                }
+                // A miss is impossible: the full replay equals the block-end
+                // configuration, where the predicate held.
+                debug_assert!(hit, "predicate held at block end but not on replay");
+                let mut trace = trace;
+                trace.clear();
+                self.scratch.trace = trace;
+                return true;
+            }
+        }
+        false
     }
 
     fn output_counts(&self) -> [u64; NUM_OUTPUTS] {
@@ -553,16 +1220,17 @@ mod tests {
         let res = run_until_stable_with(&mut sim, &test_policy(), 1 << 32);
         assert!(res.converged);
         assert_eq!(sim.leaders(), 1);
-        // Stops on a batch boundary: with constant population the batch is
-        // constant, so the stopping time is a multiple of it.
-        assert_eq!(res.interactions % test_policy().batch_size(4096), 0);
+        // Exact first-hit stop: the reported interaction count is the one
+        // that produced the single leader (no batch-boundary round-up), so
+        // the simulator is left exactly at the stop.
+        assert_eq!(res.interactions, sim.interactions());
     }
 
     #[test]
     fn batched_tracks_sequential_trajectory() {
         // Slow protocol marginal x(t) = 1/(1+t) — the batched path must
-        // follow it just like the sequential one (test tolerance is loose
-        // enough for both sampling noise and the O(batch/n) bias).
+        // follow it just like the sequential one (the batch sampler is
+        // exact, so the tolerance only covers sampling noise).
         let n = 1u64 << 14;
         let mut sim = UrnSim::new(Slow, n, 9);
         for k in 1..=6u64 {
@@ -577,16 +1245,77 @@ mod tests {
     #[test]
     fn batched_at_exactly_min_population_batches() {
         // n = 4096 = DEFAULT_MIN_POPULATION: the boundary is "strictly
-        // below", so at exactly 4096 the default policy batches (64 per
-        // block) and stopping times are quantised to batch boundaries.
+        // below", so at exactly 4096 the default policy batches (256 per
+        // block). Stops are still exact — blocks are a scheduling
+        // granularity, and the stop rewinds/replays to the first hit — so
+        // unlike the legacy approximate engine the stopping time need not
+        // land on a block boundary.
         let n = 4096u64;
         let policy = BatchPolicy::adaptive();
-        assert_eq!(policy.batch_size(n), 64);
+        assert_eq!(policy.batch_size(n), 256);
         let mut sim = UrnSim::new(Slow, n, 77);
         let res = run_until_stable_with(&mut sim, &policy, 1 << 40);
         assert!(res.converged);
         assert_eq!(sim.leaders(), 1);
-        assert_eq!(res.interactions % 64, 0, "not batch-aligned");
+        assert_eq!(res.interactions, sim.interactions());
+    }
+
+    #[test]
+    fn traced_batches_replay_bit_identically() {
+        // The shared trace decoding: a batched run's recorded
+        // (responder, initiator) trace, replayed pair-by-pair on a fresh
+        // urn, must reproduce the batched configuration bit for bit.
+        let n = 4096u64;
+        let mut batched = UrnSim::new(Slow, n, 41);
+        let mut trace = Vec::new();
+        batched.steps_batched_traced(10_000, &test_policy(), &mut trace);
+        assert_eq!(trace.len(), 10_000);
+        let mut replayed = UrnSim::new(Slow, n, 999);
+        for &(r, i) in &trace {
+            replayed.replay_interaction(r, i);
+        }
+        assert_eq!(replayed.nonzero_counts(), batched.nonzero_counts());
+        assert_eq!(replayed.output_counts(), batched.output_counts());
+        assert_eq!(replayed.interactions(), batched.interactions());
+    }
+
+    #[test]
+    fn steps_until_matches_trace_first_hit() {
+        // Exact-stop gate: the interaction count reported by `steps_until`
+        // must equal the first-hit index in the recorded trace of the same
+        // seeded run.
+        let n = 4096u64;
+        let policy = test_policy();
+        let target = 40u64;
+        let mut traced = UrnSim::new(Slow, n, 53);
+        let mut trace = Vec::new();
+        traced.steps_batched_traced(1 << 22, &policy, &mut trace);
+        let mut replayed = UrnSim::new(Slow, n, 1);
+        let mut first_hit = None;
+        for (k, &(r, i)) in trace.iter().enumerate() {
+            replayed.replay_interaction(r, i);
+            if replayed.leaders() <= target {
+                first_hit = Some(k as u64 + 1);
+                break;
+            }
+        }
+        let first_hit = first_hit.expect("trace long enough to hit target");
+        let mut sim = UrnSim::new(Slow, n, 53);
+        assert!(sim.steps_until(1 << 22, &policy, &mut |s: &UrnSim<Slow>| {
+            s.leaders() <= target
+        }));
+        assert_eq!(sim.interactions(), first_hit);
+        assert_eq!(sim.leaders(), target);
+    }
+
+    #[test]
+    fn steps_until_budget_exhaustion_leaves_exact_count() {
+        // When the predicate never fires the budget must be consumed
+        // exactly, with no partial-block overshoot.
+        let n = 4096u64;
+        let mut sim = UrnSim::new(Slow, n, 7);
+        assert!(!sim.steps_until(12_345, &test_policy(), &mut |_: &UrnSim<Slow>| false));
+        assert_eq!(sim.interactions(), 12_345);
     }
 
     #[test]

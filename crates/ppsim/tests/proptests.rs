@@ -2,11 +2,49 @@
 //! batched sampling primitives. Case counts honour `PROPTEST_CASES`
 //! (default 64; CI's stress job runs 256).
 
-use ppsim::batch::{binomial, draw_without_replacement};
-use ppsim::{quantile, Fenwick};
+use ppsim::batch::{
+    binomial, collision_free_run, draw_without_replacement, draw_without_replacement_sparse,
+    hypergeometric, BatchPolicy, BINV_EXACT_N, BINV_MEAN_CUTOFF,
+};
+use ppsim::{quantile, EnumerableProtocol, Fenwick, Output, Protocol, Simulator, UrnSim};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// The slow leader-election protocol with a dense 2-state encoding, for
+/// engine-level sampler properties.
+struct Slow;
+impl Protocol for Slow {
+    type State = bool;
+    fn initial_state(&self) -> bool {
+        true
+    }
+    fn transition(&self, r: bool, i: bool) -> (bool, bool) {
+        if r && i {
+            (true, false)
+        } else {
+            (r, i)
+        }
+    }
+    fn output(&self, s: bool) -> Output {
+        if s {
+            Output::Leader
+        } else {
+            Output::Follower
+        }
+    }
+}
+impl EnumerableProtocol for Slow {
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn state_id(&self, s: bool) -> usize {
+        s as usize
+    }
+    fn state_from_id(&self, id: usize) -> bool {
+        id == 1
+    }
+}
 
 /// A random program of Fenwick operations, validated against a plain
 /// vector model.
@@ -250,5 +288,194 @@ proptest! {
             (first as f64 - expect).abs() < 6.0 * sd + 5.0,
             "slot share {first} vs {expect} (sd {sd})"
         );
+    }
+
+    // ---- exact-batch sampler properties (PR 6) --------------------------
+
+    #[test]
+    fn collision_free_run_stays_in_support(
+        seed in any::<u64>(),
+        n in 2u64..1_000_000,
+        untouched_frac in 0.0f64..1.0,
+        cap in 1u64..5_000,
+    ) {
+        let untouched = ((n as f64 * untouched_frac) as u64).min(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let run = collision_free_run(&mut rng, n, untouched, cap);
+        prop_assert!(run <= cap, "run {run} exceeds cap {cap}");
+        prop_assert!(run <= untouched / 2, "run {run} needs {} fresh agents", 2 * run);
+        if untouched == n && n >= 2 {
+            // A full pool survives the first interaction with certainty.
+            prop_assert!(run >= 1);
+        }
+    }
+
+    #[test]
+    fn collision_free_run_mean_matches_closed_form(
+        seed in any::<u64>(),
+        n in 16u64..5_000,
+        touched in 0u64..8,
+        cap in 1u64..64,
+    ) {
+        // E[min(L, cap)] = Σ_{j=1..cap} P(L ≥ j), with
+        // P(L ≥ j) = Π_{i<j} (u−2i)(u−2i−1) / (n(n−1)).
+        let u = n - touched.min(n / 2);
+        let mut expect = 0.0f64;
+        let mut q = 1.0f64;
+        let denom = n as f64 * (n - 1) as f64;
+        for j in 0..cap {
+            let fresh = u.saturating_sub(2 * j);
+            if fresh < 2 {
+                break;
+            }
+            q *= fresh as f64 * (fresh - 1) as f64 / denom;
+            expect += q;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reps = 400u64;
+        let xs: Vec<f64> = (0..reps)
+            .map(|_| collision_free_run(&mut rng, n, u, cap) as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / reps as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (reps - 1) as f64;
+        let tol = 6.0 * (var / reps as f64).sqrt() + 0.05;
+        prop_assert!(
+            (mean - expect).abs() < tol,
+            "run length (n={n}, u={u}, cap={cap}): mean {mean} vs {expect} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn batch_size_one_is_bitwise_per_step(seed in any::<u64>(), n in 2u64..2_000, k in 0u64..3_000) {
+        // Degenerate b = 1: a policy whose batch collapses to one
+        // interaction must take the sequential path bit for bit, for every
+        // seed and population — not just statistically.
+        let policy = BatchPolicy::Adaptive { shift: 63, min_population: 2 };
+        let mut batched = UrnSim::new(Slow, n, seed);
+        let mut sequential = UrnSim::new(Slow, n, seed);
+        batched.steps_batched(k, &policy);
+        sequential.steps(k);
+        prop_assert_eq!(batched.nonzero_counts(), sequential.nonzero_counts());
+        prop_assert_eq!(batched.output_counts(), sequential.output_counts());
+        prop_assert_eq!(batched.interactions(), sequential.interactions());
+    }
+
+    #[test]
+    fn batched_trace_replays_bit_identically(
+        seed in any::<u64>(),
+        n in 64u64..4_096,
+        shift in 1u32..8,
+        k in 1u64..20_000,
+    ) {
+        // The shared trace decoding, swept across populations, block sizes
+        // and seeds: the recorded (responder, initiator) trace of a batched
+        // run, replayed sequentially, reproduces the batched configuration
+        // bit for bit.
+        let policy = BatchPolicy::Adaptive { shift, min_population: 2 };
+        let mut batched = UrnSim::new(Slow, n, seed);
+        let mut trace = Vec::new();
+        batched.steps_batched_traced(k, &policy, &mut trace);
+        prop_assert_eq!(trace.len() as u64, k);
+        let mut replayed = UrnSim::new(Slow, n, !seed);
+        for &(r, i) in &trace {
+            replayed.replay_interaction(r, i);
+        }
+        prop_assert_eq!(replayed.nonzero_counts(), batched.nonzero_counts());
+        prop_assert_eq!(replayed.output_counts(), batched.output_counts());
+        prop_assert_eq!(replayed.interactions(), batched.interactions());
+    }
+
+    #[test]
+    fn binomial_is_continuous_across_the_binv_boundaries(
+        seed in any::<u64>(),
+        side in 0u64..4,
+    ) {
+        // Regression pin for the BINV/normal crossover: the exact engine
+        // consumes far more binomial draws per batch than the legacy one,
+        // so the sampler must stay in-support and on-mean on *both* sides
+        // of `BINV_MEAN_CUTOFF` (mean crossover) and `BINV_EXACT_N`
+        // (small-n always-exact crossover).
+        let (n, p) = match side {
+            // n·p just below / above the mean cutoff at large n.
+            0 => (100_000u64, (BINV_MEAN_CUTOFF - 0.5) / 100_000.0),
+            1 => (100_000u64, (BINV_MEAN_CUTOFF + 0.5) / 100_000.0),
+            // n just below / above the always-exact population cutoff, at a
+            // mean far beyond the cutoff (p picked so n·p > cutoff).
+            2 => (BINV_EXACT_N - 1, 0.6),
+            _ => (BINV_EXACT_N + 1, 0.6),
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reps = 400u64;
+        let xs: Vec<f64> = (0..reps).map(|_| {
+            let x = binomial(&mut rng, n, p);
+            assert!(x <= n);
+            x as f64
+        }).collect();
+        let mean = xs.iter().sum::<f64>() / reps as f64;
+        let expect = n as f64 * p;
+        let se = (expect * (1.0 - p) / reps as f64).sqrt();
+        prop_assert!(
+            (mean - expect).abs() < 6.0 * se + 0.5,
+            "Bin({n}, {p}) at crossover: mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn hypergeometric_is_continuous_across_the_crossover(
+        seed in any::<u64>(),
+        side in 0u64..2,
+    ) {
+        // Same pin for the hypergeometric sampler: draws·K/N within half a
+        // unit of the mean cutoff on either side.
+        let total = 100_000u64;
+        let marked = total / 2;
+        let mean_target = if side == 0 {
+            BINV_MEAN_CUTOFF - 0.5
+        } else {
+            BINV_MEAN_CUTOFF + 0.5
+        };
+        let draws = (mean_target * total as f64 / marked as f64).round() as u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reps = 400u64;
+        let xs: Vec<f64> = (0..reps).map(|_| {
+            let x = hypergeometric(&mut rng, total, marked, draws);
+            assert!(x <= draws && x <= marked);
+            x as f64
+        }).collect();
+        let mean = xs.iter().sum::<f64>() / reps as f64;
+        let expect = draws as f64 * marked as f64 / total as f64;
+        let frac = draws as f64 / total as f64;
+        let se = (expect * 0.5 * (1.0 - frac) / reps as f64).sqrt();
+        prop_assert!(
+            (mean - expect).abs() < 6.0 * se + 0.5,
+            "Hyp({total}, {marked}, {draws}) at crossover: mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn sparse_draw_matches_dense_totals(
+        seed in any::<u64>(),
+        pool_template in prop::collection::vec(0u64..2_000, 1..30),
+        draw_frac in 0.0f64..1.0,
+    ) {
+        // The occupancy-bucketed sparse variant must honour the same
+        // invariants as the dense sampler: draws sum to the batch, no slot
+        // over-drawn, pool shrinks in lock-step, and zero-count slots never
+        // appear in the output.
+        let total: u64 = pool_template.iter().sum();
+        let draws = (total as f64 * draw_frac) as u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pool = pool_template.clone();
+        let mut pool_total = total;
+        let mut out = Vec::new();
+        draw_without_replacement_sparse(&mut rng, draws, &mut pool, &mut pool_total, &mut out);
+        prop_assert_eq!(out.iter().map(|&(_, c)| c).sum::<u64>(), draws);
+        prop_assert_eq!(pool_total, total - draws);
+        for &(j, c) in &out {
+            let j = j as usize;
+            prop_assert!(c > 0, "zero-count entry for slot {j}");
+            prop_assert!(c <= pool_template[j], "slot {j} drew {c} of {}", pool_template[j]);
+            prop_assert_eq!(pool[j], pool_template[j] - c);
+        }
     }
 }

@@ -5,14 +5,21 @@
 //! trajectory marginals across [`AgentSim`], sequential [`UrnSim`] and the
 //! batched `UrnSim` path (`steps_batched`, see `ppsim::batch`).
 //!
-//! The batched comparisons are the statistical gate for the batching
-//! optimisation: the batch sampler changes the *algorithm* (multinomial
-//! blocks instead of per-interaction Fenwick draws, within-batch
-//! approximation O(batch/n)) but must not change the sampled
-//! *distribution* beyond what these KS / chi-square gates allow. All seeds
-//! are fixed, so CI sees a deterministic computation — the significance
-//! levels are deliberately generous (α = 0.001-ish critical values) and
-//! refer to the draw of the seeds, not to reruns.
+//! The batched path carries a **bit-level gate**: the exact
+//! collision-resampling engine records its interaction trace as ordered
+//! `(responder, initiator)` state-id pairs, and replaying that trace
+//! sequentially (`UrnSim::replay_interaction`) must reproduce the batched
+//! configuration bit for bit — exhaustively over tiny populations × block
+//! sizes × seeds, and on a seeded n = 2^20 run. That gate is the proof
+//! obligation for the exactness claim (a batch of b interactions is
+//! distributed as b sequential steps).
+//!
+//! The KS / chi-square comparisons below are kept as a *sanity layer*: they
+//! would catch a sampler that replays its own trace consistently but draws
+//! from the wrong distribution (e.g. a biased collision-case weight). All
+//! seeds are fixed, so CI sees a deterministic computation — the
+//! significance levels are deliberately generous (α = 0.001-ish critical
+//! values) and refer to the draw of the seeds, not to reruns.
 
 use population_protocols::baselines::SlowLe;
 use population_protocols::core::{Census, Gsu19};
@@ -29,6 +36,65 @@ fn batched_policy() -> BatchPolicy {
         shift: BatchPolicy::DEFAULT_SHIFT,
         min_population: 256,
     }
+}
+
+/// Replays a batched run's recorded trace on a fresh simulator and asserts
+/// the configurations agree bit for bit.
+fn assert_trace_replays<P>(make: impl Fn() -> P, n: u64, seed: u64, k: u64, policy: &BatchPolicy)
+where
+    P: population_protocols::ppsim::EnumerableProtocol,
+{
+    let mut batched = UrnSim::new(make(), n, seed);
+    let mut trace = Vec::new();
+    batched.steps_batched_traced(k, policy, &mut trace);
+    assert_eq!(trace.len() as u64, k, "trace must record every interaction");
+    // Different seed on purpose: replay consumes no randomness.
+    let mut replayed = UrnSim::new(make(), n, seed ^ 0xdead_beef);
+    for &(r, i) in &trace {
+        replayed.replay_interaction(r, i);
+    }
+    assert_eq!(
+        replayed.nonzero_counts(),
+        batched.nonzero_counts(),
+        "n={n} seed={seed} k={k}: replayed configuration diverged"
+    );
+    assert_eq!(replayed.output_counts(), batched.output_counts());
+    assert_eq!(replayed.interactions(), batched.interactions());
+}
+
+#[test]
+fn batched_trace_replay_bit_identical_exhaustive_tiny() {
+    // Exhaustive sweep over tiny populations, block granularities (shift 1
+    // gives blocks of n/2, the engine's maximum batch; larger shifts force
+    // block splits and per-step fallbacks) and seeds, on both the paper's
+    // protocol and the slow baseline.
+    for n in [4u64, 6, 8, 16, 32, 64] {
+        for shift in [1u32, 2, 3, 5] {
+            let policy = BatchPolicy::Adaptive {
+                shift,
+                min_population: 2,
+            };
+            for seed in 0..4u64 {
+                assert_trace_replays(|| SlowLe, n, seed, 40 * n, &policy);
+                if n >= 16 {
+                    // Gsu19's parameter derivation needs n ≥ 16.
+                    assert_trace_replays(|| Gsu19::for_population(n), n, seed, 40 * n, &policy);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_trace_replay_bit_identical_large() {
+    // Seeded large-population gate: one n = 2^20 run of the paper's
+    // protocol, long enough that every block runs many exact sub-batches.
+    let n = 1u64 << 20;
+    let policy = BatchPolicy::Adaptive {
+        shift: BatchPolicy::DEFAULT_SHIFT,
+        min_population: 256,
+    };
+    assert_trace_replays(|| Gsu19::for_population(n), n, 97, 4 * n, &policy);
 }
 
 #[test]
