@@ -1,0 +1,164 @@
+//! Throughput-regression gate over the criterion shim's JSON logs.
+//!
+//! ```text
+//! bench_gate --baseline <file> --current <file> [--max-regression 0.30]
+//! ```
+//!
+//! Both files are the JSON-lines logs the vendored criterion shim writes
+//! when `CRITERION_JSON` is set: one object per benchmark with `id`,
+//! `median_ns`, `min_ns`, `max_ns` and `elements` (0 when the benchmark
+//! has no element-throughput annotation). The gate compares **median
+//! throughput** per id — `elements / median_ns` when elements are
+//! recorded, `1 / median_ns` otherwise — and exits non-zero when any
+//! benchmark present in the baseline regresses by more than the allowed
+//! fraction, or is missing from the current run (a silently dropped
+//! benchmark must not pass the gate).
+//!
+//! Benchmarks only present in the current run are reported but never
+//! fatal, so adding a benchmark does not require touching the baseline in
+//! the same commit. The committed baseline
+//! (`crates/bench/baselines/engine_batched_quick.jsonl`) is refreshed by
+//! re-running the bench with `CRITERION_JSON` pointed at it; ROADMAP's
+//! engine ledger records the machine it was taken on.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    median_ns: u64,
+    elements: u64,
+}
+
+impl Entry {
+    /// Comparable rate: elements (or iterations) per nanosecond.
+    fn rate(&self) -> f64 {
+        let work = if self.elements == 0 {
+            1.0
+        } else {
+            self.elements as f64
+        };
+        work / self.median_ns.max(1) as f64
+    }
+}
+
+/// Extract the u64 value of `"key":<digits>` from one JSON line. The
+/// lines are produced by our own shim, so a targeted scan beats pulling a
+/// JSON parser into the bench crate.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let id =
+            field_str(line, "id").ok_or_else(|| format!("{path}: line without an id: {line}"))?;
+        let median_ns = field_u64(line, "median_ns")
+            .ok_or_else(|| format!("{path}: line without median_ns: {line}"))?;
+        let elements = field_u64(line, "elements").unwrap_or(0);
+        // Last occurrence wins, so a re-run appended to an old log still
+        // gates on the fresh numbers.
+        out.insert(
+            id.to_string(),
+            Entry {
+                median_ns,
+                elements,
+            },
+        );
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark entries"));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_regression = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(take()?),
+            "--current" => current = Some(take()?),
+            "--max-regression" => {
+                max_regression = take()?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let baseline = load(&baseline.ok_or("--baseline is required")?)?;
+    let current = load(&current.ok_or("--current is required")?)?;
+
+    let mut failures = Vec::new();
+    for (id, base) in &baseline {
+        let Some(cur) = current.get(id) else {
+            failures.push(format!(
+                "{id}: present in baseline, missing from current run"
+            ));
+            continue;
+        };
+        let ratio = cur.rate() / base.rate();
+        let verdict = if ratio < 1.0 - max_regression {
+            failures.push(format!(
+                "{id}: {:.2}x baseline throughput (allowed ≥ {:.2}x)",
+                ratio,
+                1.0 - max_regression
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>4}  {id}: {:.2}x baseline ({} ns vs {} ns median)",
+            ratio, cur.median_ns, base.median_ns
+        );
+    }
+    for id in current.keys() {
+        if !baseline.contains_key(id) {
+            println!(" new  {id}: not in baseline (not gated)");
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_gate: {} benchmarks within {:.0}% of baseline",
+            baseline.len(),
+            max_regression * 100.0
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "bench_gate: {} regression(s):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -49,4 +49,4 @@ pub use engine::{config_grid, replay_trial, run_experiment, run_experiment_cache
 pub use json::Json;
 pub use observe::{ObservableKind, Observables, Schedule};
 pub use registry::{ProtocolKind, TrialOutcome};
-pub use spec::{parse_n_grid, EngineKind, ExperimentSpec, InitConfig, StopCondition};
+pub use spec::{parse_n_grid, BatchMode, EngineKind, ExperimentSpec, InitConfig, StopCondition};

@@ -562,7 +562,7 @@ mod tests {
         );
         let n = 256u64;
         let r = Runnable::build(ProtocolKind::Gsu19, n, &gsu_spec()).unwrap();
-        let out = r.run(n, 11, &sh, &InitConfig::Fresh);
+        let out = r.run(n, 12, &sh, &InitConfig::Fresh);
         assert!(out.converged);
         // At least the first epochs of the countdown were seen, values
         // ascending, with an active count recorded at each.

@@ -198,6 +198,14 @@ pub struct UrnSim<P: EnumerableProtocol> {
 }
 
 impl<P: EnumerableProtocol> UrnSim<P> {
+    /// Cost ratio between one conditional hypergeometric call (bucketized
+    /// path, per pairing bucket) and one buffered shuffle draw (shuffled
+    /// path, per stream element) — see the dispatch in
+    /// [`UrnSim::step_batch`]. Empirical, from the `engine_batched`
+    /// criterion sweep; the dispatch stays a deterministic function of
+    /// `(b, n, occupancy)` whatever its value.
+    const BUCKETIZED_RUN_FACTOR: f64 = 3.0;
+
     /// Create an urn with `n` agents in the initial state.
     ///
     /// # Panics
@@ -342,6 +350,15 @@ impl<P: EnumerableProtocol> UrnSim<P> {
                 left -= 1;
                 continue;
             }
+            if policy.is_approximate() {
+                // The approximate engine's speed comes from sampling the
+                // whole block as one multinomial; subdividing it would just
+                // shrink the bias toward the exact engine at the exact
+                // engine's cost. One block, one draw.
+                self.step_batch_approx(block);
+                left -= block;
+                continue;
+            }
             let inner = inner_batch_size(self.population);
             let mut rem = block;
             while rem > 0 {
@@ -360,12 +377,23 @@ impl<P: EnumerableProtocol> UrnSim<P> {
     /// reproduces this simulator's configuration bit for bit; the
     /// equivalence suite uses this as the shared decoding that promotes the
     /// batched-vs-sequential gates from statistical to bit-level.
+    ///
+    /// # Panics
+    /// Panics for [`BatchPolicy::ApproximateMultinomial`]: the approximate
+    /// block sampler applies bucketed transitions with no interaction order,
+    /// so no sequential trace exists to record — silently returning an
+    /// empty or fabricated trace would defeat the bit-level gates this
+    /// method exists for.
     pub fn steps_batched_traced(
         &mut self,
         k: u64,
         policy: &BatchPolicy,
         out: &mut Vec<(u32, u32)>,
     ) {
+        assert!(
+            !policy.is_approximate(),
+            "approximate multinomial batches admit no sequential trace"
+        );
         let mut left = k;
         while left > 0 {
             let block = policy.batch_size(self.population).min(left);
@@ -417,7 +445,17 @@ impl<P: EnumerableProtocol> UrnSim<P> {
         let bf = b as f64;
         let avg_run = bf / (1.0 + bf * bf / self.population as f64);
         let occ = self.occupied_ids.len() as f64;
-        if avg_run >= occ * occ {
+        // The bucketized path pays ~occ² conditional hypergeometric calls
+        // per segment (the pairing chain), the shuffled path ~2 buffered
+        // index draws per interaction. A hypergeometric call costs roughly
+        // an order of magnitude more than a shuffle element (Lanczos/
+        // Stirling evaluations vs a masked bit take), so runs must dwarf
+        // occ² by that factor before per-segment amortisation wins.
+        // BUCKETIZED_RUN_FACTOR was fit on the `engine_batched` sweep:
+        // Gsu19 mid-phase (occ ≈ 9–15, runs ≈ 241 at n = 2^20) sits firmly
+        // in shuffled territory, while few-state protocols (occ ≤ 5) keep
+        // the bucketized path's ~6 ns/interaction.
+        if avg_run >= Self::BUCKETIZED_RUN_FACTOR * occ * occ {
             self.step_batch_bucketed(b, record);
         } else {
             self.step_batch_shuffled(b, record);
@@ -690,10 +728,10 @@ impl<P: EnumerableProtocol> UrnSim<P> {
         }
         sc.resp_nz.clear();
         debug_assert_eq!(sc.flat.len() as u64, fresh);
-        for i in (1..sc.flat.len()).rev() {
-            let j = self.rng.gen_range(0..=(i as u64)) as usize;
-            sc.flat.swap(i, j);
-        }
+        // Bit-buffered Fisher–Yates: packs the per-index bounded draws into
+        // shared 64-bit words instead of burning one full xoshiro output per
+        // swap (~6–10 bits actually needed per draw at batch sizes here).
+        self.rng.shuffle(&mut sc.flat);
 
         // Phase 4: apply the segments against the shuffled stream.
         let occ = sc.occupied.len();
@@ -883,6 +921,39 @@ impl<P: EnumerableProtocol> UrnSim<P> {
         sc.init_nz.clear();
     }
 
+    /// **Approximate** legacy multinomial block sampler
+    /// ([`BatchPolicy::ApproximateMultinomial`] only): draw the block's `b`
+    /// responders, then its `b` initiators, without replacement from the
+    /// block-**start** configuration and pair them uniformly — the PR 2
+    /// engine. Transition outputs are invisible to sampling until the next
+    /// block (no within-batch feedback), which is exactly the documented
+    /// O(b/n) approximation; everything downstream of the role draws reuses
+    /// the exact engine's pairing chain and merge machinery. No trace is
+    /// recorded: this path cannot participate in bit-level replay or exact
+    /// first-hit stops.
+    fn step_batch_approx(&mut self, b: u64) {
+        debug_assert!(b >= 1 && 2 * b <= self.population);
+        let mut sc = self.begin_sub_batch();
+        let mut pool_total = self.population;
+        draw_without_replacement_sparse(
+            &mut self.rng,
+            b,
+            &mut sc.pool,
+            &mut pool_total,
+            &mut sc.resp_nz,
+        );
+        draw_without_replacement_sparse(
+            &mut self.rng,
+            b,
+            &mut sc.pool,
+            &mut pool_total,
+            &mut sc.init_nz,
+        );
+        self.pair_and_apply(&mut sc, b, false);
+        self.interactions += b;
+        self.merge_sub_batch(sc, false);
+    }
+
     /// Draw an interaction pair and remove both balls from the urn; the
     /// caller finishes the interaction with [`UrnSim::finish_pair`].
     #[inline]
@@ -1013,6 +1084,11 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
     /// chain's first-hit time; for a non-monotone predicate it is the first
     /// hit *within the first block whose endpoint satisfies it* (earlier
     /// transient flips strictly inside an unsatisfied block are not probed).
+    ///
+    /// Under [`BatchPolicy::ApproximateMultinomial`] no trace exists, so
+    /// stops are **block-granular**: the reported interaction count is
+    /// rounded up to the end of the block in which the predicate first
+    /// held — one more way that mode trades fidelity for speed.
     fn steps_until(
         &mut self,
         k: u64,
@@ -1028,6 +1104,14 @@ impl<P: EnumerableProtocol> Simulator for UrnSim<P> {
             if block < 4 || block > self.population / 2 {
                 self.step();
                 left -= 1;
+                if pred(self) {
+                    return true;
+                }
+                continue;
+            }
+            if policy.is_approximate() {
+                self.step_batch_approx(block);
+                left -= block;
                 if pred(self) {
                     return true;
                 }
@@ -1374,5 +1458,74 @@ mod tests {
             }
         });
         assert_eq!(leaders, sim.leaders());
+    }
+
+    /// Approximate-multinomial policy forcing batches at test populations.
+    fn approx_policy() -> BatchPolicy {
+        BatchPolicy::ApproximateMultinomial {
+            shift: 6,
+            min_population: 64,
+        }
+    }
+
+    #[test]
+    fn approx_batched_conserves_population_and_outputs() {
+        let mut sim = UrnSim::new(Slow, 10_000, 3);
+        sim.steps_batched(200_000, &approx_policy());
+        assert_eq!(sim.interactions(), 200_000);
+        let total: u64 = sim.nonzero_counts().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(sim.output_counts().iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn approx_batched_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = UrnSim::new(Slow, 20_000, seed);
+            sim.steps_batched(100_000, &approx_policy());
+            (sim.nonzero_counts(), sim.interactions())
+        };
+        assert_eq!(run(41), run(41));
+        // Different seeds are different samples of the process (the Slow
+        // leader count after 5n interactions is spread over dozens of
+        // values, so a collision would be an astronomical fluke).
+        assert_ne!(run(41).0, run(42).0);
+    }
+
+    #[test]
+    fn approx_batched_tracks_sequential_trajectory() {
+        // Same x(t) = 1/(1+t) marginal check as the exact engine's: at
+        // shift 6 the per-block bias (≈ 2^-6 per block) is far inside the
+        // 20% tolerance band, which is exactly the regime the legacy
+        // engine's gates accepted.
+        let n = 1u64 << 14;
+        let mut sim = UrnSim::new(Slow, n, 9);
+        for k in 1..=6u64 {
+            sim.steps_batched(2 * n, &approx_policy());
+            let t = 2.0 * k as f64;
+            let expected = n as f64 / (1.0 + t);
+            let rel = (sim.leaders() as f64 - expected).abs() / expected;
+            assert!(rel < 0.2, "t={t}: {} vs {expected:.0}", sim.leaders());
+        }
+    }
+
+    #[test]
+    fn approx_batched_stops_at_block_granularity() {
+        // Stops still work under the approximate mode, but with no trace to
+        // rewind they land on a block boundary (or on a per-step remainder).
+        let n = 4096u64;
+        let mut sim = UrnSim::new(Slow, n, 77);
+        let res = run_until_stable_with(&mut sim, &approx_policy(), 1 << 40);
+        assert!(res.converged);
+        assert_eq!(sim.leaders(), 1);
+        assert_eq!(res.interactions, sim.interactions());
+    }
+
+    #[test]
+    #[should_panic(expected = "no sequential trace")]
+    fn traced_rejects_approximate_policy() {
+        let mut sim = UrnSim::new(Slow, 10_000, 3);
+        let mut trace = Vec::new();
+        sim.steps_batched_traced(1_000, &approx_policy(), &mut trace);
     }
 }

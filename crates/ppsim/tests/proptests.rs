@@ -453,6 +453,60 @@ proptest! {
     }
 
     #[test]
+    fn hypergeometric_large_draw_ks_gate(
+        seed in any::<u64>(),
+        total in 20_000u64..120_000,
+        marked_frac in 0.15f64..0.5,
+        draws_frac in 0.15f64..0.5,
+    ) {
+        // KS gate for the large-draw regime, randomized over parameters
+        // strictly above the old normal-approximation cutoff
+        // (mean ≥ 20 000·0.15·0.15 = 450 ≫ BINV_MEAN_CUTOFF, and
+        // min(marked, draws) ≥ 3 000 ≫ BINV_EXACT_N): every draw goes
+        // through the HRUA rejection sampler, which must match the *exact*
+        // CDF — the old normal-approximation branch fails this gate.
+        let marked = (total as f64 * marked_frac) as u64;
+        let draws = (total as f64 * draws_frac) as u64;
+        let mean = draws as f64 * marked as f64 / total as f64;
+        prop_assert!(mean > BINV_MEAN_CUTOFF && marked.min(draws) > BINV_EXACT_N);
+        let p = marked as f64 / total as f64;
+        let sd = (mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64).sqrt();
+        // Exact pmf over a ±12σ window (outside mass < 1e-30), built from
+        // the ratio recurrence P(x+1)/P(x) = (K−x)(n−x)/((x+1)(N−K−n+x+1))
+        // and normalized over the window — no log-gamma needed, and the
+        // relative spread across 12σ (~e^72) sits comfortably inside f64.
+        let support_lo = (draws + marked).saturating_sub(total);
+        let lo = ((mean - 12.0 * sd).floor().max(0.0) as u64).max(support_lo);
+        let hi = (((mean + 12.0 * sd).ceil()) as u64).min(marked.min(draws));
+        let mut pmf = vec![0.0f64; (hi - lo + 1) as usize];
+        pmf[0] = 1.0;
+        for i in 1..pmf.len() {
+            let x = lo + i as u64 - 1;
+            pmf[i] = pmf[i - 1] * ((marked - x) as f64 * (draws - x) as f64)
+                / ((x + 1) as f64 * (total - marked - draws + x + 1) as f64);
+        }
+        let z: f64 = pmf.iter().sum();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reps = 4_000usize;
+        let mut counts = vec![0u64; pmf.len()];
+        for _ in 0..reps {
+            let x = hypergeometric(&mut rng, total, marked, draws);
+            prop_assert!((lo..=hi).contains(&x), "H draw {x} outside ±12σ window");
+            counts[(x - lo) as usize] += 1;
+        }
+        let (mut acc_obs, mut acc_exact, mut d) = (0u64, 0.0f64, 0.0f64);
+        for (c, w) in counts.iter().zip(&pmf) {
+            acc_obs += c;
+            acc_exact += w / z;
+            d = d.max((acc_obs as f64 / reps as f64 - acc_exact).abs());
+        }
+        // 2.6/√reps: per-case α ≈ 3e-6, so a PROPTEST_CASES=256 stress run
+        // stays false-positive-free while a normal-approximation sampler
+        // (CDF error O(1/σ) ≈ 2%) fails essentially every case.
+        prop_assert!(d < 2.6 / (reps as f64).sqrt(), "KS statistic {d} at H({total}, {marked}, {draws})");
+    }
+
+    #[test]
     fn sparse_draw_matches_dense_totals(
         seed in any::<u64>(),
         pool_template in prop::collection::vec(0u64..2_000, 1..30),

@@ -91,7 +91,8 @@ fn print_help() {
          \x20 --engine E --compiled --n GRID --trials T --seed S --threads K\n\
          \x20 --budget PT | --at PT | --stop stabilize:B|horizon:T|drag:L:B|\n\
          \x20 active:K:B|settled:B --sample-at T1,T2,... --observables LIST\n\
-         \x20 --batch-shift B --round-every R --init fresh|final-epoch:K[lg]\n\
+         \x20 --batch-shift B --batch-mode exact|approximate-multinomial\n\
+         \x20 --round-every R --init fresh|final-epoch:K[lg]\n\
          \x20 --gamma G --phi P --psi P\n\n\
          observables: core (none) or a comma list of census | level_sizes |\n\
          \x20 junta_size | drag_histogram | round_census | drag_times |\n\
@@ -101,6 +102,11 @@ fn print_help() {
          protocols: gsu19 (default) | gsu19-no-drag | gsu19-no-backup |\n\
          \x20          gsu19-direct | gs18 | bkko18 | slow | clock\n\
          engines:   agent (default) | urn | urn-batched\n\
+         --batch-mode approximate-multinomial opts the batched engine into\n\
+         \x20          the legacy APPROXIMATE multinomial sampler (fast,\n\
+         \x20          deterministic per seed, separately cached — but biased\n\
+         \x20          O(2^-batch-shift) per block with block-granular stops;\n\
+         \x20          keep figures on the default exact mode)\n\
          threads:   --threads K or the PPSIM_THREADS environment variable\n\
          --compiled runs the engine on compiled transition tables\n\
          \x20          (ppsim::compiled; gsu19 and gs18 only)"
@@ -229,6 +235,7 @@ const SPEC_FLAGS: &[(&str, &str)] = &[
     ("--sample-at", "sample_at"),
     ("--observables", "observables"),
     ("--batch-shift", "batch_shift"),
+    ("--batch-mode", "batch_mode"),
     ("--round-every", "round_every"),
     ("--init", "init"),
     ("--gamma", "gamma"),
@@ -413,33 +420,40 @@ fn cmd_sweep(args: &[String]) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Value-taking flags `ppctl run` accepts: every spec override plus the
+/// run-only I/O flags. Kept as a const so a test can assert it stays a
+/// superset of [`SPEC_FLAGS`] (a spec flag missing here is documented but
+/// rejected by the strict parser).
+const RUN_VALUE_FLAGS: &[&str] = &[
+    "--spec",
+    "--protocol",
+    "--engine",
+    "--n",
+    "--trials",
+    "--seed",
+    "--threads",
+    "--budget",
+    "--at",
+    "--stop",
+    "--sample-at",
+    "--observables",
+    "--batch-shift",
+    "--batch-mode",
+    "--round-every",
+    "--init",
+    "--gamma",
+    "--phi",
+    "--psi",
+    "--out",
+    "--csv",
+    "--replay",
+    "--cache-dir",
+];
+
 fn cmd_run(args: &[String]) -> Result<i32, String> {
     let flags = Flags::parse(
         args,
-        &[
-            "--spec",
-            "--protocol",
-            "--engine",
-            "--n",
-            "--trials",
-            "--seed",
-            "--threads",
-            "--budget",
-            "--at",
-            "--stop",
-            "--sample-at",
-            "--observables",
-            "--batch-shift",
-            "--round-every",
-            "--init",
-            "--gamma",
-            "--phi",
-            "--psi",
-            "--out",
-            "--csv",
-            "--replay",
-            "--cache-dir",
-        ],
+        RUN_VALUE_FLAGS,
         &["--compiled", "--cache", "--no-cache"],
     )?;
     let mut spec = match flags.get("--spec") {
@@ -606,6 +620,16 @@ mod tests {
 
     fn args(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn run_accepts_every_spec_flag() {
+        for (flag, _) in SPEC_FLAGS {
+            assert!(
+                RUN_VALUE_FLAGS.contains(flag),
+                "{flag} is a spec override but `ppctl run` rejects it"
+            );
+        }
     }
 
     #[test]

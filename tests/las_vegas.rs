@@ -12,6 +12,16 @@
 //! produce together. From every such configuration with at least one alive
 //! candidate and settled roles, the protocol must stabilise to exactly one
 //! leader and stay there.
+//!
+//! One reachability constraint is load-bearing: the maximal drag among
+//! candidates must be held by some *alive* candidate. Every honest
+//! execution maintains this (drag advances on active candidates via rule
+//! (10); duels keep the senior — who holds the pair maximum, since drag
+//! dominates the seniority key — alive; rule (9) only withdraws the
+//! strictly-behind). A configuration where a *withdrawn* candidate relays
+//! a drag strictly above every alive candidate's is unreachable, and from
+//! it rule (9) lawfully eliminates the whole alive set — Theorem 8.2 does
+//! not cover it, so the generator pins the maximum onto an alive agent.
 
 use population_protocols::core::{AgentState, Flip, Gsu19, LeaderMode, Params, Role};
 use population_protocols::ppsim::{run_until_stable, AgentSim, Simulator};
@@ -57,6 +67,24 @@ fn adversarial_config(params: &Params, n: usize, rng: &mut SmallRng) -> Vec<Agen
             }
         };
         states.push(AgentState { role, phase });
+    }
+    // Restore the reachability invariant (see the module docs): the maximal
+    // candidate drag must be held by an alive candidate, or rule (9) can
+    // eliminate every alive candidate via a withdrawn relay.
+    let max_drag = states
+        .iter()
+        .filter_map(|s| match s.role {
+            Role::L { drag, .. } => Some(drag),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let alive = states
+        .iter_mut()
+        .find(|s| s.is_alive_leader())
+        .expect("configuration must contain an alive candidate");
+    if let Role::L { ref mut drag, .. } = alive.role {
+        *drag = max_drag;
     }
     states
 }

@@ -11,6 +11,7 @@
 //! min/max as the spread.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Opaque value sink preventing the optimiser from deleting benchmarked
@@ -204,6 +205,49 @@ fn run_one<F: FnMut(&mut Bencher)>(
         "{label}: {nanos} ns/iter [min {} / max {}]{rate}",
         min.as_nanos().max(1),
         max.as_nanos().max(1)
+    );
+    export_json(label, throughput, min, median, max);
+}
+
+/// Machine-readable export: when `CRITERION_JSON` names a file, append one
+/// JSON line per benchmark (truncating the file on the first benchmark of
+/// the process, so a bench run always produces a self-contained log).
+/// Downstream the `bench_gate` tool diffs these logs against a committed
+/// baseline to fail CI on throughput regressions.
+fn export_json(
+    label: &str,
+    throughput: Option<Throughput>,
+    min: Duration,
+    median: Duration,
+    max: Duration,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    static TRUNCATED: std::sync::Once = std::sync::Once::new();
+    let mut opts = std::fs::OpenOptions::new();
+    opts.create(true);
+    let mut first = false;
+    TRUNCATED.call_once(|| first = true);
+    if first {
+        opts.write(true).truncate(true);
+    } else {
+        opts.append(true);
+    }
+    let Ok(mut file) = opts.open(&path) else {
+        eprintln!("criterion: cannot open CRITERION_JSON={path}");
+        return;
+    };
+    let elements = match throughput {
+        Some(Throughput::Elements(k)) => k,
+        _ => 0,
+    };
+    let _ = writeln!(
+        file,
+        "{{\"id\":\"{label}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"elements\":{elements}}}",
+        median.as_nanos().max(1),
+        min.as_nanos().max(1),
+        max.as_nanos().max(1),
     );
 }
 

@@ -60,6 +60,92 @@ pub trait Rng: RngCore {
     {
         self.gen::<f64>() < p
     }
+
+    /// Fill `out` with independent uniform draws from `0..span`, packing
+    /// several draws into each raw 64-bit word.
+    ///
+    /// Same distribution as `out.len()` calls of `gen_range(0..span)` (but
+    /// a different RNG-stream consumption): each draw is produced by
+    /// bitmask-with-rejection, taking only `ceil(log2 span)` bits from a
+    /// shared bit buffer, so small spans cost a fraction of a `next_u64`
+    /// per draw instead of a whole one.
+    ///
+    /// # Panics
+    /// Panics if `span == 0`.
+    fn fill_range(&mut self, span: u64, out: &mut [u64])
+    where
+        Self: Sized,
+    {
+        assert!(span > 0, "cannot sample from empty range");
+        let mut buf = BitBuffer::default();
+        for slot in out {
+            *slot = buf.below(self, span);
+        }
+    }
+
+    /// Uniform random permutation of `slice` (Fisher–Yates), drawing the
+    /// swap indices through a shared bit buffer so a shuffle of `m`
+    /// elements consumes roughly `m·log2(m)/64` raw words instead of `m`.
+    ///
+    /// Every index draw is bitmask-with-rejection, so the permutation is
+    /// exactly uniform.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        let mut buf = BitBuffer::default();
+        for i in (1..slice.len()).rev() {
+            let j = buf.below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// A bit-granular view over a word generator: hands out `k`-bit slices of
+/// raw 64-bit outputs, refilling only when the current word runs dry. The
+/// workhorse behind [`Rng::fill_range`] and [`Rng::shuffle`].
+#[derive(Default)]
+struct BitBuffer {
+    bits: u64,
+    avail: u32,
+}
+
+impl BitBuffer {
+    /// Take the next `k` bits (`1 ≤ k ≤ 63`) as an integer.
+    #[inline]
+    fn take<R: RngCore + ?Sized>(&mut self, rng: &mut R, k: u32) -> u64 {
+        if self.avail < k {
+            self.bits = rng.next_u64();
+            self.avail = 64;
+        }
+        let v = self.bits & ((1u64 << k) - 1);
+        self.bits >>= k;
+        self.avail -= k;
+        v
+    }
+
+    /// Uniform draw from `0..span` by bitmask-with-rejection on `k`-bit
+    /// slices, where `k` is the smallest width covering the span. Rejection
+    /// keeps it exactly uniform; acceptance is above 1/2 per attempt.
+    #[inline]
+    fn below<R: RngCore + ?Sized>(&mut self, rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span == 1 {
+            return 0;
+        }
+        let k = 64 - (span - 1).leading_zeros();
+        if k == 64 {
+            // Spans above 2^63: the mask is the whole word, so slicing
+            // buys nothing — fall back to whole-word rejection.
+            return uniform_below(rng, span as u128) as u64;
+        }
+        loop {
+            let v = self.take(rng, k);
+            if v < span {
+                return v;
+            }
+        }
+    }
 }
 
 impl<R: RngCore> Rng for R {}
@@ -119,12 +205,31 @@ pub trait SampleRange {
 #[inline]
 fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
     debug_assert!(span > 0);
-    // 128-bit multiply-shift keeps the modulo bias below 2^-64 — far
-    // beneath anything the statistical tests can resolve.
-    if span <= u64::MAX as u128 {
-        ((rng.next_u64() as u128) * span) >> 64
-    } else {
-        rng.next_u64() as u128 % span
+    // Bitmask-with-rejection: mask the raw word down to the smallest
+    // power of two covering the span, reject values past it. Every
+    // surviving word maps to itself, so the draw is *exactly* uniform —
+    // unlike the previous multiply-shift / modulo reductions, which must
+    // map 2^64 equally-likely words onto a non-dividing span unevenly
+    // (pigeonhole), giving some outputs twice the probability of others.
+    // Acceptance is above 1/2 per attempt, so the expected cost is below
+    // two raw words per draw.
+    if span > u64::MAX as u128 {
+        // Only reachable at span = 2^64 (an inclusive full 64-bit range):
+        // every raw word is already a uniform draw.
+        debug_assert_eq!(span, 1u128 << 64);
+        return rng.next_u64() as u128;
+    }
+    let span = span as u64;
+    if span & (span - 1) == 0 {
+        // Power-of-two span: the mask alone is exact, no rejection.
+        return (rng.next_u64() & (span - 1)) as u128;
+    }
+    let mask = u64::MAX >> (span - 1).leading_zeros();
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < span {
+            return v as u128;
+        }
     }
 }
 
@@ -266,5 +371,158 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let heads = (0..100_000).filter(|_| rng.gen::<bool>()).count();
         assert!((heads as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    /// A scripted word source for pinning exact sampler behaviour.
+    struct ScriptRng {
+        words: Vec<u64>,
+        at: usize,
+    }
+
+    impl ScriptRng {
+        fn new(words: &[u64]) -> Self {
+            ScriptRng {
+                words: words.to_vec(),
+                at: 0,
+            }
+        }
+    }
+
+    impl super::RngCore for ScriptRng {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.at];
+            self.at += 1;
+            w
+        }
+    }
+
+    /// The uniformity regression the old multiply-shift `gen_range`
+    /// fails. At the pathological span `2^63 + 1`, any deterministic
+    /// single-word reduction maps 2^64 equally-likely words onto
+    /// `2^63 + 1` outputs, so by pigeonhole some outputs receive two
+    /// words and others one — a 2× probability ratio. This test computes
+    /// the old reduction's exact preimage counts (`|{x : ⌊x·s/2^64⌋ = y}|`)
+    /// for concrete outputs and shows they differ; bitmask-with-rejection
+    /// has no such reduction step, so the defect is structural, not a
+    /// tolerance issue.
+    #[test]
+    fn multiply_shift_reduction_is_provably_nonuniform_at_span_2_63_plus_1() {
+        let span = (1u128 << 63) + 1;
+        // Preimage count of output y under x ↦ ⌊x·span / 2^64⌋ over all
+        // 2^64 words: the number of integers in [y·2^64/span, (y+1)·2^64/span).
+        let preimages = |y: u128| -> u128 {
+            let lo = (y << 64).div_ceil(span);
+            let hi = ((y + 1) << 64).div_ceil(span);
+            hi - lo
+        };
+        // Output 0 is produced by two words (0 and 1) while the top
+        // output is produced by one — a 2× probability ratio between
+        // outputs of the same range. The old `gen_range` reduced with
+        // exactly this map.
+        assert_eq!(preimages(0), 2);
+        assert_eq!(preimages(span - 1), 1);
+    }
+
+    /// The rejection sampler at the same pathological span: accepted
+    /// words map to *themselves* (identity ⇒ exactly uniform), words at
+    /// or above the span are discarded and a fresh word is drawn.
+    #[test]
+    fn bitmask_rejection_is_exactly_uniform_at_span_2_63_plus_1() {
+        let span = (1u64 << 63) + 1;
+        // Accepted immediately: in-range words come back unchanged.
+        for w in [0u64, 1, 42, 1 << 62, 1 << 63, span - 1] {
+            let mut rng = ScriptRng::new(&[w]);
+            assert_eq!(rng.gen_range(0..span), w);
+            assert_eq!(rng.at, 1, "in-range word must be accepted as-is");
+        }
+        // Out-of-range words are rejected, never folded back into range.
+        let mut rng = ScriptRng::new(&[span, u64::MAX, span + 7, 99]);
+        assert_eq!(rng.gen_range(0..span), 99);
+        assert_eq!(rng.at, 4, "three rejections before the accept");
+    }
+
+    #[test]
+    fn gen_range_power_of_two_span_uses_plain_mask() {
+        // Power-of-two spans need no rejection: one word per draw, low
+        // bits kept.
+        let mut rng = ScriptRng::new(&[0b1010_1101, u64::MAX]);
+        assert_eq!(rng.gen_range(0u64..16), 0b1101);
+        assert_eq!(rng.gen_range(0u64..16), 15);
+        assert_eq!(rng.at, 2);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_passes_words_through() {
+        let mut rng = ScriptRng::new(&[7, u64::MAX]);
+        assert_eq!(rng.gen_range(0u64..=u64::MAX), 7);
+        assert_eq!(rng.gen_range(0u64..=u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn fill_range_respects_bounds_and_is_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = vec![0u64; 80_000];
+        rng.fill_range(10, &mut out);
+        let mut counts = [0u32; 10];
+        for &v in &out {
+            assert!(v < 10);
+            counts[v as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - 8_000.0).abs() / 8_000.0;
+            assert!(rel < 0.05, "slot {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn fill_range_packs_multiple_draws_per_word() {
+        // Span 16 needs 4 bits per draw: 16 draws must consume exactly
+        // one raw word when nothing is rejected (power-of-two span).
+        let mut rng = ScriptRng::new(&[0xFEDC_BA98_7654_3210]);
+        let mut out = [0u64; 16];
+        rng.fill_range(16, &mut out);
+        assert_eq!(rng.at, 1, "16 four-bit draws fit in one word");
+        assert_eq!(out[0], 0x0);
+        assert_eq!(out[1], 0x1);
+        assert_eq!(out[15], 0xF);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn fill_range_rejects_empty_span() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        rng.fill_range(0, &mut [0u64; 4]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for len in [0usize, 1, 2, 7, 100, 1000] {
+            let mut v: Vec<usize> = (0..len).collect();
+            rng.shuffle(&mut v);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..len).collect::<Vec<_>>(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_uniform_over_small_permutations() {
+        // All 4! = 24 permutations of 4 elements must appear with equal
+        // frequency (χ² with 23 dof; 120k draws give mean 5000 per cell,
+        // a 5% relative band is ~6σ).
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 120_000;
+        for _ in 0..draws {
+            let mut v = [0u8, 1, 2, 3];
+            rng.shuffle(&mut v);
+            *counts.entry(v).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 24, "every permutation reachable");
+        for (p, &c) in &counts {
+            let rel = (c as f64 - 5_000.0).abs() / 5_000.0;
+            assert!(rel < 0.05, "{p:?}: {c}");
+        }
     }
 }
