@@ -309,6 +309,64 @@ mod tests {
     }
 
     #[test]
+    fn truncated_trial_file_degrades_to_a_clean_miss() {
+        // A crash mid-write (or disk-full) can leave a prefix of the JSON
+        // on disk if the atomic rename already happened against a partial
+        // temp file. Whatever the cut point, the load must be a miss —
+        // never a panic — and a store over the poisoned entry must heal it.
+        let cache = tmp_cache("truncated");
+        let spec = ExperimentSpec::default();
+        let id = Cache::config_identity(&spec, ProtocolKind::Gsu19, 256);
+        let rec = record(11);
+        cache.store(&id, &rec).unwrap();
+        let path = cache
+            .dir()
+            .join(format!("{:016x}", Cache::config_hash(&id)))
+            .join(format!("{:016x}.json", 11u64));
+        let full = std::fs::read_to_string(&path).unwrap();
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                cache.load(&id, 11).is_none(),
+                "truncation at {cut}/{} must miss cleanly",
+                full.len()
+            );
+        }
+        // The poisoned entry is recoverable: a fresh store overwrites it
+        // and the next load hits again.
+        cache.store(&id, &rec).unwrap();
+        assert_eq!(cache.load(&id, 11), Some(rec));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_config_identity_degrades_to_misses_not_panics() {
+        // config.json is the collision guard; if *it* is corrupted the
+        // whole config slice must turn into misses (and refuse stores, to
+        // protect whatever the incumbent identity was) without panicking.
+        let cache = tmp_cache("truncated-config");
+        let spec = ExperimentSpec::default();
+        let id = Cache::config_identity(&spec, ProtocolKind::Gsu19, 512);
+        let rec = record(5);
+        cache.store(&id, &rec).unwrap();
+        let config_path = cache
+            .dir()
+            .join(format!("{:016x}", Cache::config_hash(&id)))
+            .join("config.json");
+        let full = std::fs::read_to_string(&config_path).unwrap();
+        std::fs::write(&config_path, &full[..full.len() / 2]).unwrap();
+        assert!(
+            cache.load(&id, 5).is_none(),
+            "poisoned identity: clean miss"
+        );
+        assert!(cache.store(&id, &rec).is_err(), "store declines, no panic");
+        // Restoring the identity brings the stored trial back verbatim.
+        std::fs::write(&config_path, &full).unwrap();
+        assert_eq!(cache.load(&id, 5), Some(rec));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn fnv_hash_is_stable() {
         // Pinned value: the on-disk layout must not drift between builds.
         assert_eq!(Cache::config_hash(""), 0xcbf2_9ce4_8422_2325);

@@ -214,6 +214,51 @@ mod tests {
     }
 
     #[test]
+    fn metric_emission_order_is_canonical_not_hasher_dependent() {
+        // PR 8 regression pin: trial metrics flow through `Vec`s and
+        // `BTreeSet`s only (ppcheck rule `hash-collections`), so their
+        // emitted order is a pure function of the spec — the core four,
+        // then each selected observable's block in canonical registry
+        // order. If a hash collection ever sneaks back into the metric
+        // path, this exact-name-sequence assertion is the first to break.
+        let mut spec = ExperimentSpec::parse(
+            "protocol = gsu19\n n = 64\n trials = 3\n seed = 9\n stop = stabilize:20000\n \
+             observables = census,junta_size,observed_states",
+        )
+        .unwrap();
+        spec.threads = 2;
+        let params = core_protocol::Params::for_population(64);
+        let mut expected: Vec<String> = ["time", "interactions", "leaders", "undecided"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        expected.extend(
+            ["zero", "x", "deactivated", "coins", "inhibitors"]
+                .into_iter()
+                .map(String::from),
+        );
+        expected.extend(
+            ["active", "passive", "withdrawn", "alive"]
+                .into_iter()
+                .map(String::from),
+        );
+        expected.extend((0..=params.phi).map(|l| format!("coins_ge{l}")));
+        expected.push("junta".into());
+        expected.push("observed_states".into());
+
+        let artifact = run_experiment(&spec).unwrap();
+        for record in &artifact.configs[0].trials {
+            let names: Vec<&String> = record.outcome.metrics.iter().map(|(k, _)| k).collect();
+            assert_eq!(
+                names,
+                expected.iter().collect::<Vec<_>>(),
+                "trial {}",
+                record.trial
+            );
+        }
+    }
+
+    #[test]
     fn artifact_bytes_are_thread_count_invariant() {
         let mut spec = tiny_spec();
         spec.threads = 1;

@@ -40,6 +40,7 @@ pub mod engine;
 pub mod json;
 pub mod observe;
 pub mod registry;
+pub mod sorted;
 pub mod spec;
 
 pub use aggregate::{survival_curve, OnlineStats, P2Quantile};

@@ -37,7 +37,7 @@
 //! grid shared across trials, which is what makes the artifact-level
 //! mean-trace aggregation sound.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use core_protocol::{Census, Params};
 use ppsim::trace::Series;
@@ -264,8 +264,11 @@ pub(crate) const INIT_STREAM: u64 = 0x1717;
 
 /// Per-trial accumulators for round- and epoch-scheduled observables.
 struct ObsAccum {
-    /// Distinct state ids seen (`observed_states`).
-    seen_states: Option<HashSet<usize>>,
+    /// Distinct state ids seen (`observed_states`). A `BTreeSet`, not a
+    /// `HashSet`: nothing in an artifact-feeding path may even *carry*
+    /// hasher-dependent order (ppcheck rule `hash-collections`), and the
+    /// ordered set keeps any future iteration over it deterministic.
+    seen_states: Option<BTreeSet<usize>>,
     /// First parallel time with max active drag ≥ l (`drag_times`).
     drag_first: Option<Vec<Option<f64>>>,
     /// Epoch transitions: (parallel time, epoch value, actives).
@@ -291,7 +294,7 @@ impl ObsAccum {
         Self {
             seen_states: obs
                 .contains(ObservableKind::ObservedStates)
-                .then(HashSet::new),
+                .then(BTreeSet::new),
             drag_first: (obs.contains(ObservableKind::DragTimes))
                 .then(|| vec![None; params.map_or(0, |p| p.psi as usize) + 1]),
             epoch_events: Vec::new(),

@@ -1,0 +1,74 @@
+//! Sorted iteration adapters over the std hash collections.
+//!
+//! The artifact crates are forbidden from touching `HashMap`/`HashSet`
+//! directly (ppcheck rule `hash-collections`): their iteration order
+//! depends on hasher state, and one such iteration on an artifact path is
+//! enough to break byte-identity across machines. Hot paths that
+//! genuinely want O(1) lookup still exist, though — this module is the
+//! *one* sanctioned bridge. It owns the hash collections and exposes
+//! their contents only in sorted order, so any bytes derived downstream
+//! are a function of the data, never of the hasher.
+//!
+//! This file is the single d1 exemption (the rule engine hardcodes the
+//! path); everywhere else in `ppexp`/`bench`, reach for `BTreeMap`/
+//! `BTreeSet` or route through these adapters.
+
+use std::collections::{HashMap, HashSet};
+
+/// The entries of a map, sorted by key — the only way hash-map contents
+/// may flow toward artifact bytes.
+pub fn sorted_entries<K: Ord, V>(map: &HashMap<K, V>) -> Vec<(&K, &V)> {
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries
+}
+
+/// A map's entries by value, sorted by key (owning variant for when the
+/// map itself is a temporary).
+pub fn into_sorted_entries<K: Ord, V>(map: HashMap<K, V>) -> Vec<(K, V)> {
+    let mut entries: Vec<(K, V)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+/// The elements of a set, sorted.
+pub fn sorted_elements<T: Ord>(set: &HashSet<T>) -> Vec<&T> {
+    let mut elements: Vec<&T> = set.iter().collect();
+    elements.sort();
+    elements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_come_out_key_sorted_regardless_of_insertion_order() {
+        for insertion in [[3u64, 1, 2], [2, 3, 1], [1, 2, 3]] {
+            let mut map = HashMap::new();
+            for k in insertion {
+                map.insert(k, k * 10);
+            }
+            let entries = sorted_entries(&map);
+            assert_eq!(entries, vec![(&1, &10), (&2, &20), (&3, &30)]);
+            let owned = into_sorted_entries(map);
+            assert_eq!(owned, vec![(1, 10), (2, 20), (3, 30)]);
+        }
+    }
+
+    #[test]
+    fn set_elements_sorted() {
+        let set: HashSet<&str> = ["junta", "active", "coins"].into_iter().collect();
+        assert_eq!(sorted_elements(&set), vec![&"active", &"coins", &"junta"]);
+    }
+
+    #[test]
+    fn string_keys_sort_bytewise() {
+        let mut map = HashMap::new();
+        for k in ["rc_junta", "rc_active", "coins_ge10", "coins_ge2"] {
+            map.insert(k.to_string(), ());
+        }
+        let keys: Vec<&String> = sorted_entries(&map).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["coins_ge10", "coins_ge2", "rc_active", "rc_junta"]);
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: s2 clean — corruption degrades to a clean miss.
+pub fn load(path: &std::path::Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(text.strip_prefix("v1:")?.to_string())
+}

@@ -1,0 +1,5 @@
+// Fixture: s2 suppressed.
+pub fn load(path: &std::path::Path) -> String {
+    // ppcheck: allow(cache-unwrap, "fixture: startup-only read of a committed file")
+    std::fs::read_to_string(path).unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: s2 violation — panicking I/O in the cache (scanned as
+// crates/experiments/src/cache.rs).
+pub fn load(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    text.strip_prefix("v1:").expect("versioned entry").to_string()
+}

@@ -1,0 +1,5 @@
+// Fixture: d3 clean — integers may be padded (cache file names), floats
+// go through the canonical emitter upstream.
+pub fn entry_name(seed: u64) -> String {
+    format!("{seed:016x}.json")
+}

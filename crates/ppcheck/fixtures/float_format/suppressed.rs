@@ -1,0 +1,5 @@
+// Fixture: d3 suppressed.
+pub fn banner(throughput: f64) -> String {
+    // ppcheck: allow(float-format, "stderr progress banner, not artifact bytes")
+    format!("{:.1} Melem/s", throughput)
+}

@@ -1,0 +1,9 @@
+// Fixture: d3 violation — ad-hoc float formatting in the artifact layer
+// (scanned as crates/experiments/src/…, not json.rs).
+pub fn cell(value: f64) -> String {
+    format!("{:.6}", value)
+}
+
+pub fn sci(value: f64) -> String {
+    format!("{:e}", value)
+}

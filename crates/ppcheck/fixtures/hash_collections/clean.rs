@@ -1,0 +1,10 @@
+// Fixture: d1 clean — ordered collections carry artifact bytes.
+use std::collections::BTreeMap;
+
+pub fn emit(metrics: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in metrics {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,12 @@
+// Fixture: d1 suppressed — the pragma must name the rule and a reason,
+// and covers its own line or the line below only.
+// ppcheck: allow(hash-collections, "lookup table only, never iterated")
+use std::collections::HashMap;
+
+pub fn lookup(
+    // ppcheck: allow(hash-collections, "lookup table only, never iterated")
+    map: &HashMap<u64, f64>,
+    key: u64,
+) -> Option<f64> {
+    map.get(&key).copied()
+}

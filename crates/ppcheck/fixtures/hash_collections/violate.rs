@@ -1,0 +1,11 @@
+// Fixture: d1 violation — unordered hash collections in an
+// artifact-producing crate (scanned as crates/experiments/src/…).
+use std::collections::HashMap;
+
+pub fn emit(metrics: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in metrics {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

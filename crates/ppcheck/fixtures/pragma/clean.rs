@@ -1,0 +1,4 @@
+// Fixture: a well-formed pragma with nothing to suppress is not a
+// finding (it is simply unused).
+// ppcheck: allow(hash-collections, "documents intent for the line below")
+pub fn noop() {}

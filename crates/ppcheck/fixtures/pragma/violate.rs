@@ -1,0 +1,5 @@
+// Fixture: malformed pragmas are findings themselves.
+// ppcheck: allow(hash-collections)
+// ppcheck: allow(no-such-rule, "reason")
+// ppcheck: allow(cache-unwrap, "")
+pub fn noop() {}

@@ -1,0 +1,11 @@
+// Fixture: s1 clean — every unsafe site states its invariant.
+pub struct Slot(*mut u8);
+
+// SAFETY: Slot is only handed out with exclusive per-index ownership;
+// no two threads ever alias the same pointer.
+unsafe impl Sync for Slot {}
+
+pub fn read(slot: &Slot) -> u8 {
+    // SAFETY: the caller holds the only live reference to this slot.
+    unsafe { *slot.0 }
+}

@@ -1,0 +1,9 @@
+// Fixture: s1 violation — unsafe block and unsafe impl with no SAFETY
+// comment (scanned anywhere in the workspace).
+pub struct Slot(*mut u8);
+
+unsafe impl Sync for Slot {}
+
+pub fn read(slot: &Slot) -> u8 {
+    unsafe { *slot.0 }
+}

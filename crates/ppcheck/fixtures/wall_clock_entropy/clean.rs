@@ -1,0 +1,9 @@
+// Fixture: d2 clean — timing comes from the caller, randomness from
+// seeded rngs; interaction counts are the simulation clock.
+pub fn measure(interactions: u64, n: u64) -> f64 {
+    interactions as f64 / n as f64
+}
+
+pub fn draw(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E3779B97F4A7C15)
+}

@@ -1,0 +1,12 @@
+// Fixture: d2 violation — wall clock and OS entropy in simulation
+// library code (scanned as crates/ppsim/src/…).
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn measure() -> f64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    let rng = thread_rng();
+    let _ = from_entropy(rng);
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,431 @@
+//! A comment- and string-aware Rust tokenizer.
+//!
+//! The rule engine must never mistake the word `HashMap` inside a string
+//! literal or a doc comment for a use of the type, and it must be able to
+//! *read* comments (for `// SAFETY:` discipline and `// ppcheck: allow`
+//! pragmas). So the lexer keeps comments as first-class tokens instead of
+//! discarding them, and collapses every literal into a single token whose
+//! interior is opaque to identifier matching.
+//!
+//! This is deliberately not a full Rust lexer: numbers are tokenized
+//! coarsely and punctuation is single-byte. The rules only ever match
+//! identifiers, literals, comments and a handful of adjacent punctuation
+//! marks, and the fixtures plus the workspace meta-test pin that this
+//! resolution is enough.
+
+/// Token classes the rule engine distinguishes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` is never a char literal.
+    Lifetime,
+    /// Numeric literal, coarsely scanned.
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`), with the
+    /// raw source text (quotes and all) preserved for content rules.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Single punctuation byte.
+    Punct,
+    /// `// …` comment (doc or plain), text includes the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text includes delimiters.
+    BlockComment,
+}
+
+/// One token with its 1-based starting line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Comment body with the `//`/`/*` markers (and doc-comment extra
+    /// `/`/`!`) stripped — what pragma and SAFETY matching looks at.
+    pub fn comment_body(&self) -> &str {
+        match self.kind {
+            TokKind::LineComment => self
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim(),
+            TokKind::BlockComment => self
+                .text
+                .trim_start_matches("/*")
+                .trim_start_matches(['*', '!'])
+                .trim_end_matches("*/")
+                .trim(),
+            _ => "",
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`, keeping comments. Unterminated literals and comments
+/// terminate at end of input rather than erroring: the analyzer must
+/// never panic on the code it audits.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Consume chars [start, end) into `text`, bumping the line counter.
+    let take = |chars: &[char], start: usize, end: usize, line: &mut usize| -> String {
+        let text: String = chars[start..end].iter().collect();
+        *line += text.matches('\n').count();
+        text
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let mut j = i;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: take(&chars, i, j, &mut line),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Raw / byte string prefixes: r" r#" b" br" br#" b' — checked
+        // before plain identifiers so the prefix letter is not split off.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let raw = j > i + 1 || c == 'r';
+            if raw && matches!(chars.get(j), Some('"') | Some('#')) {
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    j += 1;
+                    // Scan to `"` followed by `hashes` hash marks.
+                    'scan: while j < chars.len() {
+                        if chars[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && chars.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: take(&chars, i, j, &mut line),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                let j = scan_quoted(&chars, i + 2, '"');
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: take(&chars, i, j, &mut line),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                let j = scan_quoted(&chars, i + 2, '\'');
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: take(&chars, i, j, &mut line),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let j = scan_quoted(&chars, i + 1, '"');
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: take(&chars, i, j, &mut line),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_start(n) || n.is_ascii_digit() => {
+                    // `'a'` is a char, `'a` (no closing quote) a lifetime.
+                    chars.get(i + 2) == Some(&'\'')
+                }
+                Some(_) => true, // e.g. '(' … any non-ident char literal
+                None => false,
+            };
+            if is_char {
+                let j = scan_quoted(&chars, i + 1, '\'');
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: take(&chars, i, j, &mut line),
+                    line: start_line,
+                });
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers (coarse: `1_000u64`, `0xFF`, `1.5e-3`; `0..9` keeps the
+        // dots out of the number so ranges lex as three tokens).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let d = chars[j];
+                if is_ident_continue(d) {
+                    j += 1;
+                } else if d == '.' && chars.get(j + 1).is_some_and(char::is_ascii_digit) {
+                    j += 2;
+                } else if (d == '+' || d == '-')
+                    && matches!(chars.get(j.wrapping_sub(1)), Some('e') | Some('E'))
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punctuation byte.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Scan a quoted literal body starting *after* the opening quote; returns
+/// the index just past the closing quote (or end of input).
+fn scan_quoted(chars: &[char], mut i: usize, quote: char) -> usize {
+    while i < chars.len() {
+        if chars[i] == '\\' {
+            i += 2;
+        } else if chars[i] == quote {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    chars.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_in_strings_and_comments_are_not_idents() {
+        let src = r#"
+            // HashMap in a comment
+            /* Instant in a block */
+            let x = "HashMap<Instant>";
+            let y = use_map();
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"use_map".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_contents() {
+        let src = r###"let s = r#"unsafe { HashMap }"#; let t = other;"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "t", "other"]);
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_quotes_and_nested_block_comments() {
+        let toks = lex(r#"let s = "a\"unsafe\"b"; /* outer /* unsafe */ still */ done"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "done"));
+        let blocks: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::BlockComment)
+            .collect();
+        assert_eq!(blocks.len(), 1, "nested block comment lexes as one token");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "line1\n\"multi\nline\nstring\"\nfinal_ident";
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 2);
+        let id = toks.iter().find(|t| t.text == "final_ident").unwrap();
+        assert_eq!(id.line, 5);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex(r##"let a = b"bytes HashMap"; let c = b'\n'; let r = br#"raw"#;"##);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "b-string and br-string"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn comment_body_strips_markers() {
+        let toks = lex("/// doc text\n//! inner\n// SAFETY: fine\n/* block */");
+        let bodies: Vec<_> = toks.iter().map(Tok::comment_body).collect();
+        assert_eq!(bodies, vec!["doc text", "inner", "SAFETY: fine", "block"]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let c = '");
+        lex("/* never closed");
+        lex("let r = r#\"never closed");
+    }
+}

@@ -1,0 +1,112 @@
+//! # ppcheck — workspace determinism-and-soundness lint pass
+//!
+//! Every guarantee this reproduction makes — byte-identical `ppexp/v1`
+//! artifacts at any thread count, bit-exact trial replay, content-
+//! addressed cache hits — is a *determinism invariant*: one iteration
+//! over a `HashMap`, one `Instant::now()`, one ad-hoc `{:.3}` float in
+//! the artifact layer, and artifact bytes silently start depending on
+//! hasher state, wall clocks or formatting accidents. Integration tests
+//! catch such violations after the fact; this crate catches them at the
+//! source level, before they land.
+//!
+//! The pass is a comment/string-aware Rust tokenizer ([`lexer`]) plus a
+//! rule engine ([`rules`]) that walks every workspace `.rs` file and
+//! enforces the named project invariants (see the rule table in
+//! `rules.rs` and the README's "Static guarantees" section). Findings are
+//! suppressible only by an auditable inline pragma:
+//!
+//! ```text
+//! // ppcheck: allow(<rule>, "<reason>")
+//! ```
+//!
+//! on the offending line or the line directly above. The binary
+//! (`cargo run -p ppcheck`) emits a human-readable report plus optional
+//! JSONL (`PPCHECK_JSON=<path>` or `--json <path>`) and exits nonzero on
+//! any unsuppressed finding — which is how CI gates every PR.
+//!
+//! std-only by design: the analyzer guards (among other things) the
+//! no-registry constraint, so it depends on nothing but the standard
+//! library, and its own output is deterministic (sorted directory walk,
+//! line-ordered findings).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use rules::{scan_source, Finding, RULE_IDS};
+
+use std::path::{Path, PathBuf};
+
+/// Directories the workspace walk never descends into: build output, git
+/// metadata, and the analyzer's own rule fixtures (which *deliberately*
+/// violate the rules).
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// All workspace `.rs` files under `root`, workspace-relative and sorted
+/// (byte order) — the walk itself must be deterministic or the report
+/// ordering would depend on readdir order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, Path::new(""), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> =
+        std::fs::read_dir(root.join(rel))?.collect::<std::io::Result<Vec<_>>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let name_str = name.to_string_lossy();
+        let rel_child = rel.join(&name);
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            if SKIP_DIRS.contains(&name_str.as_ref()) {
+                continue;
+            }
+            walk(root, &rel_child, out)?;
+        } else if kind.is_file() && name_str.ends_with(".rs") {
+            out.push(rel_child);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every workspace `.rs` file under `root`. Returns the findings
+/// (suppressed ones included, marked) and the number of files scanned.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(scan_source(&rel_str, &src));
+    }
+    Ok((findings, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_sorted_and_skips_fixture_and_target_dirs() {
+        let dir = std::env::temp_dir().join(format!("ppcheck-walk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for sub in ["src", "target/debug", "fixtures/x", ".git"] {
+            std::fs::create_dir_all(dir.join(sub)).unwrap();
+        }
+        std::fs::write(dir.join("src/b.rs"), "").unwrap();
+        std::fs::write(dir.join("src/a.rs"), "").unwrap();
+        std::fs::write(dir.join("target/debug/gen.rs"), "").unwrap();
+        std::fs::write(dir.join("fixtures/x/viol.rs"), "").unwrap();
+        std::fs::write(dir.join("notes.txt"), "").unwrap();
+        let files = workspace_files(&dir).unwrap();
+        assert_eq!(
+            files,
+            vec![PathBuf::from("src/a.rs"), PathBuf::from("src/b.rs")]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,122 @@
+//! Human-readable and JSONL rendering of findings.
+//!
+//! The JSONL report (one object per finding, suppressed ones included
+//! with their audit reasons) is what CI uploads; the human report is what
+//! a developer reads in the terminal. Both are deterministic functions of
+//! the finding list, which is itself deterministic (sorted file walk,
+//! line-ordered findings per file).
+
+use crate::rules::Finding;
+
+/// Human-readable report: unsuppressed findings first (these fail the
+/// run), then the suppression audit trail, then a one-line summary.
+pub fn human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    let active: Vec<&Finding> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    let suppressed: Vec<&Finding> = findings.iter().filter(|f| f.suppressed.is_some()).collect();
+
+    for f in &active {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    if !suppressed.is_empty() {
+        out.push_str("suppressed (audit trail):\n");
+        for f in &suppressed {
+            out.push_str(&format!(
+                "  {}:{}: [{}] allowed: {}\n",
+                f.path,
+                f.line,
+                f.rule,
+                f.suppressed.as_deref().unwrap_or("")
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "ppcheck: {} finding{} ({} suppressed) across {} files\n",
+        active.len(),
+        if active.len() == 1 { "" } else { "s" },
+        suppressed.len(),
+        files_scanned
+    ));
+    out
+}
+
+/// JSONL report: one line per finding.
+pub fn jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"suppressed\":{},\"reason\":{}}}\n",
+            esc(f.rule),
+            esc(&f.path),
+            f.line,
+            esc(&f.message),
+            f.suppressed.is_some(),
+            f.suppressed.as_deref().map_or("null".to_string(), esc),
+        ));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (the finding fields are ASCII paths and
+/// prose; control characters are escaped defensively anyway).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(suppressed: Option<&str>) -> Finding {
+        Finding {
+            rule: "hash-collections",
+            path: "crates/experiments/src/foo.rs".into(),
+            line: 7,
+            message: "a \"quoted\" message".into(),
+            suppressed: suppressed.map(String::from),
+        }
+    }
+
+    #[test]
+    fn human_report_separates_active_from_suppressed() {
+        let r = human(&[finding(None), finding(Some("why"))], 3);
+        assert!(r.contains("crates/experiments/src/foo.rs:7: [hash-collections]"));
+        assert!(r.contains("suppressed (audit trail):"));
+        assert!(r.contains("allowed: why"));
+        assert!(r.contains("ppcheck: 1 finding (1 suppressed) across 3 files"));
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let r = jsonl(&[finding(None), finding(Some("a \"reason\""))]);
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"suppressed\":false"));
+        assert!(lines[0].contains("\"reason\":null"));
+        assert!(lines[1].contains("\"suppressed\":true"));
+        assert!(lines[1].contains("\\\"reason\\\""));
+        assert!(lines[0].contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn escaping_handles_control_chars() {
+        assert_eq!(esc("a\nb\tc\u{1}"), "\"a\\nb\\tc\\u0001\"");
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-rule fixture self-tests: every rule has a violating, a clean and
+//! a pragma-suppressed snippet, scanned under the synthetic path that
+//! puts it in the rule's scope. These are the pinned positive/negative
+//! examples of what each invariant means.
+
+use ppcheck::{scan_source, Finding};
+
+/// Scan a fixture under a synthetic workspace-relative path.
+fn scan(fixture: &str, as_path: &str) -> Vec<Finding> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/");
+    let src = std::fs::read_to_string(format!("{root}{fixture}")).unwrap();
+    scan_source(as_path, &src)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn assert_all_suppressed(findings: &[Finding], rule: &str) {
+    assert!(!findings.is_empty(), "suppressed fixture must still match");
+    for f in findings {
+        assert_eq!(f.rule, rule);
+        let reason = f
+            .suppressed
+            .as_deref()
+            .unwrap_or_else(|| panic!("finding at line {} should be suppressed: {f:?}", f.line));
+        assert!(!reason.is_empty(), "audit reason must be recorded");
+    }
+}
+
+const EXP_PATH: &str = "crates/experiments/src/fixture.rs";
+const SIM_PATH: &str = "crates/ppsim/src/fixture.rs";
+const CACHE_PATH: &str = "crates/experiments/src/cache.rs";
+
+#[test]
+fn hash_collections_fixtures() {
+    let v = scan("hash_collections/violate.rs", EXP_PATH);
+    assert_eq!(rules(&v), vec!["hash-collections", "hash-collections"]);
+    assert!(v.iter().all(|f| f.suppressed.is_none()));
+
+    assert!(scan("hash_collections/clean.rs", EXP_PATH).is_empty());
+    assert_all_suppressed(
+        &scan("hash_collections/suppressed.rs", EXP_PATH),
+        "hash-collections",
+    );
+
+    // Out of scope, out of findings: the same source is legal in ppsim.
+    assert!(scan("hash_collections/violate.rs", SIM_PATH).is_empty());
+}
+
+#[test]
+fn wall_clock_entropy_fixtures() {
+    let v = scan("wall_clock_entropy/violate.rs", SIM_PATH);
+    assert_eq!(
+        v.iter().filter(|f| f.rule == "wall-clock-entropy").count(),
+        v.len()
+    );
+    // Instant ×2, SystemTime ×2, thread_rng, from_entropy.
+    assert_eq!(v.len(), 6);
+
+    assert!(scan("wall_clock_entropy/clean.rs", SIM_PATH).is_empty());
+    assert_all_suppressed(
+        &scan("wall_clock_entropy/suppressed.rs", SIM_PATH),
+        "wall-clock-entropy",
+    );
+
+    // Bench timing code is out of scope by design.
+    assert!(scan(
+        "wall_clock_entropy/violate.rs",
+        "crates/bench/benches/engine.rs"
+    )
+    .is_empty());
+}
+
+#[test]
+fn float_format_fixtures() {
+    let v = scan("float_format/violate.rs", EXP_PATH);
+    assert_eq!(rules(&v), vec!["float-format", "float-format"]);
+
+    assert!(scan("float_format/clean.rs", EXP_PATH).is_empty());
+    assert_all_suppressed(
+        &scan("float_format/suppressed.rs", EXP_PATH),
+        "float-format",
+    );
+
+    // The canonical emitter itself is the one exemption.
+    assert!(scan("float_format/violate.rs", "crates/experiments/src/json.rs").is_empty());
+}
+
+#[test]
+fn undocumented_unsafe_fixtures() {
+    let v = scan("undocumented_unsafe/violate.rs", SIM_PATH);
+    assert_eq!(
+        rules(&v),
+        vec!["undocumented-unsafe", "undocumented-unsafe"]
+    );
+
+    assert!(scan("undocumented_unsafe/clean.rs", SIM_PATH).is_empty());
+    assert_all_suppressed(
+        &scan("undocumented_unsafe/suppressed.rs", SIM_PATH),
+        "undocumented-unsafe",
+    );
+
+    // s1 is workspace-wide: the same violations fire under any path.
+    assert_eq!(
+        scan("undocumented_unsafe/violate.rs", "vendor/rand/src/lib.rs").len(),
+        2
+    );
+    assert_eq!(
+        scan("undocumented_unsafe/violate.rs", "src/bin/ppctl.rs").len(),
+        2
+    );
+}
+
+#[test]
+fn cache_unwrap_fixtures() {
+    let v = scan("cache_unwrap/violate.rs", CACHE_PATH);
+    assert_eq!(rules(&v), vec!["cache-unwrap", "cache-unwrap"]);
+
+    assert!(scan("cache_unwrap/clean.rs", CACHE_PATH).is_empty());
+    assert_all_suppressed(
+        &scan("cache_unwrap/suppressed.rs", CACHE_PATH),
+        "cache-unwrap",
+    );
+
+    // Scoped to the cache: other experiment modules may unwrap logic
+    // invariants (their panics cannot be caused by on-disk corruption).
+    assert!(scan("cache_unwrap/violate.rs", EXP_PATH).is_empty());
+}
+
+#[test]
+fn pragma_fixtures() {
+    let v = scan("pragma/violate.rs", EXP_PATH);
+    assert_eq!(rules(&v), vec!["pragma", "pragma", "pragma"]);
+    assert!(
+        v.iter().all(|f| f.suppressed.is_none()),
+        "pragma findings are unsuppressible"
+    );
+
+    // A well-formed but unused pragma is not a finding.
+    assert!(scan("pragma/clean.rs", EXP_PATH).is_empty());
+}

@@ -1,0 +1,51 @@
+//! Meta-test: the committed tree is ppcheck-clean.
+//!
+//! This runs on every `cargo test`, so a PR that introduces a hash
+//! iteration into the artifact crates, a wall clock into ppsim, an
+//! undocumented unsafe block, or a panicking cache path fails its test
+//! suite even before the dedicated CI job runs the binary.
+
+use std::path::Path;
+
+#[test]
+fn committed_tree_has_zero_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let (findings, files) = ppcheck::scan_workspace(&root).unwrap();
+    // Sanity: the walk actually saw the workspace, not an empty dir.
+    assert!(
+        files > 60,
+        "walk found only {files} files — wrong root? ({})",
+        root.display()
+    );
+    let active: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert!(
+        active.is_empty(),
+        "committed tree has {} unsuppressed finding(s):\n{}",
+        active.len(),
+        active
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn suppressions_in_tree_carry_reasons() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let (findings, _) = ppcheck::scan_workspace(&root).unwrap();
+    for f in findings.iter().filter(|f| f.suppressed.is_some()) {
+        assert!(
+            !f.suppressed.as_deref().unwrap().trim().is_empty(),
+            "{}:{} suppression has an empty reason",
+            f.path,
+            f.line
+        );
+    }
+}
