@@ -202,6 +202,11 @@ pub struct ConfigResult {
 impl ConfigResult {
     /// Assemble a config result by streaming `trials` (already in trial
     /// order) through the online aggregators.
+    ///
+    /// The single aggregation path: `run_experiment` feeds it trials it
+    /// just ran, [`crate::shard`]'s merge feeds it records collected from
+    /// shard files or the cache — byte identity between the two is this
+    /// shared code, so any aggregation change propagates to both.
     pub(crate) fn collect(
         protocol: ProtocolKind,
         n: u64,

@@ -54,10 +54,15 @@ impl Cache {
         Self { dir: dir.into() }
     }
 
-    /// The default location, `target/ppexp-cache/` relative to the
-    /// working directory.
+    /// The default location: the `PPEXP_CACHE_DIR` environment variable
+    /// when set and non-empty (shard workers on a shared filesystem point
+    /// it at one cache), else `target/ppexp-cache/` relative to the
+    /// working directory. An explicit `--cache-dir` flag outranks both.
     pub fn default_dir() -> PathBuf {
-        PathBuf::from("target/ppexp-cache")
+        match std::env::var_os("PPEXP_CACHE_DIR") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from("target/ppexp-cache"),
+        }
     }
 
     /// Root directory of this cache.
@@ -225,6 +230,19 @@ mod tests {
                 traces: Vec::new(),
             },
         }
+    }
+
+    #[test]
+    fn default_dir_honours_ppexp_cache_dir() {
+        // The only test touching this variable, so no cross-test race.
+        std::env::remove_var("PPEXP_CACHE_DIR");
+        assert_eq!(Cache::default_dir(), PathBuf::from("target/ppexp-cache"));
+        std::env::set_var("PPEXP_CACHE_DIR", "/mnt/shared/ppexp");
+        assert_eq!(Cache::default_dir(), PathBuf::from("/mnt/shared/ppexp"));
+        // Empty means unset, not "the current directory".
+        std::env::set_var("PPEXP_CACHE_DIR", "");
+        assert_eq!(Cache::default_dir(), PathBuf::from("target/ppexp-cache"));
+        std::env::remove_var("PPEXP_CACHE_DIR");
     }
 
     #[test]

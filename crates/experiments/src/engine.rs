@@ -12,7 +12,7 @@ use ppsim::parallel::{default_threads, run_trials_threads};
 use ppsim::rng::{split_seed, trial_seeds};
 
 use crate::artifact::{Artifact, ConfigResult, TrialRecord};
-use crate::cache::{Cache, CacheStats};
+use crate::cache::{Cache, CacheStats, ConfigCache};
 use crate::observe::RunShape;
 use crate::registry::{ProtocolKind, Runnable};
 use crate::spec::ExperimentSpec;
@@ -24,6 +24,100 @@ pub fn config_grid(spec: &ExperimentSpec) -> Vec<(ProtocolKind, u64)> {
         .iter()
         .flat_map(|&p| spec.ns.iter().map(move |&n| (p, n)))
         .collect()
+}
+
+/// The worker-thread count a spec resolves to: `spec.threads`, with `0`
+/// meaning auto (the `PPSIM_THREADS` environment variable, falling back
+/// to the machine's parallelism). The one place that policy lives — the
+/// engine, [`crate::shard::run_shard`] and `ppctl` all resolve through
+/// here.
+pub fn effective_threads(spec: &ExperimentSpec) -> usize {
+    if spec.threads == 0 {
+        default_threads()
+    } else {
+        spec.threads
+    }
+}
+
+/// The per-trial execution shape a spec declares (engine, batching, stop,
+/// observables) — everything [`Runnable::run`] needs besides the seed.
+pub(crate) fn run_shape(spec: &ExperimentSpec) -> RunShape<'_> {
+    RunShape {
+        engine: spec.engine,
+        policy: spec.batch_policy(),
+        stop: spec.stop,
+        sample_at: &spec.sample_at,
+        observables: &spec.observables,
+        round_every: spec.round_every,
+    }
+}
+
+/// Run the `wanted` trials — `(trial index, derived seed)` pairs — of one
+/// `(protocol, n)` config, optionally through a verified cache slice:
+/// warm trials load (their stored index rewritten to the wanted address),
+/// misses run fresh over `threads` workers and are stored back. Records
+/// come back in `wanted` order; `stats` accumulates hits and misses.
+///
+/// This is the execution kernel shared by [`run_experiment_cached`]
+/// (every trial of every config) and [`crate::shard::run_shard`] (one
+/// shard's slice), so both paths produce bit-identical records by
+/// construction.
+pub(crate) fn run_config_trials(
+    (protocol, n): (ProtocolKind, u64),
+    spec: &ExperimentSpec,
+    shape: &RunShape,
+    wanted: &[(usize, u64)],
+    config_cache: Option<&ConfigCache>,
+    threads: usize,
+    stats: &mut CacheStats,
+) -> Result<Vec<TrialRecord>, String> {
+    let mut records: Vec<Option<TrialRecord>> = vec![None; wanted.len()];
+    // Indices into `wanted` that missed the cache.
+    let mut missing: Vec<usize> = Vec::new();
+    if let Some(config_cache) = config_cache {
+        for (slot, &(trial, seed)) in wanted.iter().enumerate() {
+            match config_cache.load(seed) {
+                Some(mut record) => {
+                    // The stored index reflects the storing spec's grid;
+                    // this plan's address is authoritative.
+                    record.trial = trial;
+                    records[slot] = Some(record);
+                    stats.hits += 1;
+                }
+                None => missing.push(slot),
+            }
+        }
+    } else {
+        missing.extend(0..wanted.len());
+    }
+    stats.misses += missing.len();
+
+    if !missing.is_empty() {
+        let runnable = Runnable::build(protocol, n, spec)?;
+        let fresh = run_trials_threads(missing.len(), 0, threads, |i, _| {
+            let (trial, seed) = wanted[missing[i]];
+            TrialRecord {
+                trial,
+                seed,
+                outcome: runnable.run(n, seed, shape, &spec.init),
+            }
+        });
+        // `run_trials_threads` returns results in job order: slot i of
+        // `fresh` is job i, i.e. `wanted[missing[i]]`.
+        for (&slot, record) in missing.iter().zip(fresh) {
+            if let Some(config_cache) = config_cache {
+                if let Err(e) = config_cache.store(&record) {
+                    eprintln!("warning: {e}");
+                }
+            }
+            records[slot] = Some(record);
+        }
+    }
+
+    Ok(records
+        .into_iter()
+        .map(|r| r.expect("every trial either cached or freshly run"))
+        .collect())
 }
 
 /// Execute a whole experiment.
@@ -49,73 +143,26 @@ pub fn run_experiment_cached(
     cache: Option<&Cache>,
 ) -> Result<(Artifact, CacheStats), String> {
     spec.validate()?;
-    let threads = if spec.threads == 0 {
-        default_threads()
-    } else {
-        spec.threads
-    };
-    let shape = RunShape {
-        engine: spec.engine,
-        policy: spec.batch_policy(),
-        stop: spec.stop,
-        sample_at: &spec.sample_at,
-        observables: &spec.observables,
-        round_every: spec.round_every,
-    };
+    let threads = effective_threads(spec);
+    let shape = run_shape(spec);
     let mut stats = CacheStats::default();
     let mut configs = Vec::new();
     for (index, (protocol, n)) in config_grid(spec).into_iter().enumerate() {
         let config_seed = split_seed(spec.seed, index as u64);
         let seeds = trial_seeds(config_seed, spec.trials);
-        let mut records: Vec<Option<TrialRecord>> = vec![None; spec.trials];
-        let mut missing: Vec<usize> = Vec::new();
+        let wanted: Vec<(usize, u64)> = seeds.into_iter().enumerate().collect();
         // Verify the config's cache identity once, not once per trial.
         let config_cache =
             cache.map(|cache| cache.config(&Cache::config_identity(spec, protocol, n)));
-        if let Some(config_cache) = &config_cache {
-            for (trial, slot) in records.iter_mut().enumerate() {
-                match config_cache.load(seeds[trial]) {
-                    Some(mut record) => {
-                        // The stored index reflects the storing spec's
-                        // grid; this spec's address is authoritative.
-                        record.trial = trial;
-                        *slot = Some(record);
-                        stats.hits += 1;
-                    }
-                    None => missing.push(trial),
-                }
-            }
-        } else {
-            missing.extend(0..spec.trials);
-        }
-        stats.misses += missing.len();
-
-        if !missing.is_empty() {
-            let runnable = Runnable::build(protocol, n, spec)?;
-            let fresh = run_trials_threads(missing.len(), 0, threads, |i, _| {
-                let trial = missing[i];
-                let seed = seeds[trial];
-                TrialRecord {
-                    trial,
-                    seed,
-                    outcome: runnable.run(n, seed, &shape, &spec.init),
-                }
-            });
-            for record in fresh {
-                if let Some(config_cache) = &config_cache {
-                    if let Err(e) = config_cache.store(&record) {
-                        eprintln!("warning: {e}");
-                    }
-                }
-                let trial = record.trial;
-                records[trial] = Some(record);
-            }
-        }
-
-        let trials: Vec<TrialRecord> = records
-            .into_iter()
-            .map(|r| r.expect("every trial either cached or freshly run"))
-            .collect();
+        let trials = run_config_trials(
+            (protocol, n),
+            spec,
+            &shape,
+            &wanted,
+            config_cache.as_ref(),
+            threads,
+            &mut stats,
+        )?;
         configs.push(ConfigResult::collect(
             protocol,
             n,
@@ -158,14 +205,7 @@ pub fn replay_trial(
     let runnable = Runnable::build(protocol, n, spec)?;
     let config_seed = split_seed(spec.seed, config as u64);
     let seed = split_seed(config_seed, trial as u64);
-    let shape = RunShape {
-        engine: spec.engine,
-        policy: spec.batch_policy(),
-        stop: spec.stop,
-        sample_at: &spec.sample_at,
-        observables: &spec.observables,
-        round_every: spec.round_every,
-    };
+    let shape = run_shape(spec);
     Ok(TrialRecord {
         trial,
         seed,

@@ -40,14 +40,21 @@ pub mod engine;
 pub mod json;
 pub mod observe;
 pub mod registry;
+pub mod shard;
 pub mod sorted;
 pub mod spec;
 
 pub use aggregate::{survival_curve, OnlineStats, P2Quantile};
 pub use artifact::{Artifact, ConfigResult, MetricAggregate, TrialRecord, SCHEMA};
 pub use cache::{Cache, CacheStats, ConfigCache};
-pub use engine::{config_grid, replay_trial, run_experiment, run_experiment_cached};
+pub use engine::{
+    config_grid, effective_threads, replay_trial, run_experiment, run_experiment_cached,
+};
 pub use json::Json;
 pub use observe::{ObservableKind, Observables, Schedule};
 pub use registry::{ProtocolKind, TrialOutcome};
+pub use shard::{
+    merge_from_cache, merge_shards, run_shard, shard_slice, spec_hash, trial_plan, MergeError,
+    MissingTrial, PlannedTrial, ShardManifest, ShardOutput, ShardStats, SHARD_SCHEMA,
+};
 pub use spec::{parse_n_grid, BatchMode, EngineKind, ExperimentSpec, InitConfig, StopCondition};

@@ -672,6 +672,13 @@ impl ExperimentSpec {
 
     /// Canonical JSON form, embedded in every artifact so an artifact is
     /// self-describing and replayable.
+    ///
+    /// Also the input of [`crate::shard::spec_hash`], the identity shard
+    /// manifests carry: `threads` is deliberately excluded (workers at
+    /// different thread counts produce identical records and must
+    /// merge), and any change to the fields emitted here makes existing
+    /// shard files *foreign* to the edited spec — which is the correct
+    /// failure mode, but worth knowing when evolving this method.
     pub fn to_json(&self) -> Json {
         let stop = self.stop.to_json();
         Json::Obj(vec![

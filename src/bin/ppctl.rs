@@ -26,8 +26,8 @@
 
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppexp::{
-    replay_trial, run_experiment, run_experiment_cached, Artifact, Cache, ConfigResult,
-    ExperimentSpec,
+    merge_from_cache, merge_shards, replay_trial, run_experiment, run_experiment_cached, run_shard,
+    Artifact, Cache, ConfigResult, ExperimentSpec, ShardOutput,
 };
 use population_protocols::ppsim::table::{fnum, Table};
 use population_protocols::ppsim::{AgentSim, BatchPolicy, Simulator, UrnSim};
@@ -39,6 +39,8 @@ fn main() {
         Some("elect") => report(cmd_elect(&args[1..])),
         Some("sweep") => report(cmd_sweep(&args[1..])),
         Some("run") => report(cmd_run(&args[1..])),
+        Some("work") => report(cmd_work(&args[1..])),
+        Some("merge") => report(cmd_merge(&args[1..])),
         Some("validate") => report(cmd_validate(&args[1..])),
         Some("census") => report(cmd_census(&args[1..])),
         Some("help") | None => {
@@ -47,7 +49,7 @@ fn main() {
         }
         Some(other) => {
             let commands = [
-                "params", "elect", "sweep", "run", "validate", "census", "help",
+                "params", "elect", "sweep", "run", "work", "merge", "validate", "census", "help",
             ];
             match suggest(other, &commands) {
                 Some(hint) => eprintln!("unknown command: {other} (did you mean '{hint}'?)"),
@@ -84,6 +86,13 @@ fn print_help() {
          \x20 run    [--spec FILE] [overrides...] [--out F|-] [--csv F]\n\
          \x20        [--replay CONFIG:TRIAL] [--cache] [--no-cache] [--cache-dir D]\n\
          \x20                                      declarative experiment (ppexp)\n\
+         \x20 work   --spec FILE --shard I/K --out F [--resume] [overrides...]\n\
+         \x20        [--cache] [--no-cache] [--cache-dir D]\n\
+         \x20                                      run one shard of the trial plan\n\
+         \x20 merge  --spec FILE SHARD.json... [--out F|-] [--csv F] [overrides...]\n\
+         \x20 merge  --spec FILE --from-cache [--cache-dir D] [--out F|-] [--csv F]\n\
+         \x20                                      verify + merge shards into the\n\
+         \x20                                      byte-identical ppexp/v1 artifact\n\
          \x20 validate FILE                        schema-check an artifact\n\
          \x20 census --n N [--at T] [--seed S] [--engine E] [--compiled]\n\
          \x20                                      census snapshot at parallel time T\n\n\
@@ -98,7 +107,10 @@ fn print_help() {
          \x20 junta_size | drag_histogram | round_census | drag_times |\n\
          \x20 epoch_candidates | epoch_times | observed_states\n\
          --cache reuses per-trial results from a content-addressed cache\n\
-         \x20 (default target/ppexp-cache); warm runs are byte-identical\n\n\
+         \x20 (--cache-dir, else $PPEXP_CACHE_DIR, else target/ppexp-cache);\n\
+         \x20 warm runs are byte-identical. Shard workers pointed at one\n\
+         \x20 shared cache let 'merge --from-cache' assemble the artifact\n\
+         \x20 with no shard files at all\n\n\
          protocols: gsu19 (default) | gsu19-no-drag | gsu19-no-backup |\n\
          \x20          gsu19-direct | gs18 | bkko18 | slow | clock\n\
          engines:   agent (default) | urn | urn-batched\n\
@@ -135,10 +147,34 @@ impl Flags {
         value_flags: &'static [&'static str],
         switch_flags: &'static [&'static str],
     ) -> Result<Self, String> {
+        let (flags, positionals) = Self::parse_inner(args, value_flags, switch_flags, false)?;
+        debug_assert!(positionals.is_empty());
+        Ok(flags)
+    }
+
+    /// Like [`Flags::parse`], but non-flag tokens collect as positional
+    /// operands (in order) instead of being rejected — `ppctl merge`
+    /// takes its shard files this way. Tokens starting with `--` are
+    /// still validated strictly.
+    fn parse_with_positionals(
+        args: &[String],
+        value_flags: &'static [&'static str],
+        switch_flags: &'static [&'static str],
+    ) -> Result<(Self, Vec<String>), String> {
+        Self::parse_inner(args, value_flags, switch_flags, true)
+    }
+
+    fn parse_inner(
+        args: &[String],
+        value_flags: &'static [&'static str],
+        switch_flags: &'static [&'static str],
+        allow_positionals: bool,
+    ) -> Result<(Self, Vec<String>), String> {
         let mut flags = Flags {
             values: Vec::new(),
             switches: Vec::new(),
         };
+        let mut positionals = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let arg = args[i].as_str();
@@ -158,6 +194,9 @@ impl Flags {
                     .ok_or_else(|| format!("flag {key} needs a value"))?;
                 flags.values.push((key, value.clone()));
                 i += 2;
+            } else if allow_positionals && !arg.starts_with("--") {
+                positionals.push(arg.to_string());
+                i += 1;
             } else {
                 let known: Vec<&str> = value_flags.iter().chain(switch_flags).copied().collect();
                 return Err(match suggest(arg, &known) {
@@ -168,7 +207,7 @@ impl Flags {
                 });
             }
         }
-        Ok(flags)
+        Ok((flags, positionals))
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -254,6 +293,54 @@ fn apply_spec_flags(spec: &mut ExperimentSpec, flags: &Flags) -> Result<(), Stri
         spec.apply("compiled", "true")?;
     }
     Ok(())
+}
+
+/// Build the spec from `--spec FILE` (if given) plus flag overrides —
+/// shared by `run`, `work` and `merge`, which must all expand the *same*
+/// trial plan from the same inputs.
+fn spec_from_flags(flags: &Flags) -> Result<ExperimentSpec, String> {
+    let mut spec = match flags.get("--spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            ExperimentSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => ExperimentSpec::default(),
+    };
+    apply_spec_flags(&mut spec, flags)?;
+    Ok(spec)
+}
+
+/// Open the cache at the resolved directory: an explicit `--cache-dir`
+/// outranks `Cache::default_dir` ($PPEXP_CACHE_DIR, else
+/// target/ppexp-cache).
+fn cache_at(flags: &Flags) -> Cache {
+    Cache::at(
+        flags
+            .get("--cache-dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(Cache::default_dir),
+    )
+}
+
+/// The per-config summary table `run` prints, shared with `merge` (whose
+/// output is the same artifact, just assembled from shards).
+fn print_run_table(artifact: &Artifact, trials: usize) {
+    let mut t = Table::new([
+        "protocol", "n", "trials", "failures", "mean t", "ci95", "median",
+    ]);
+    for config in &artifact.configs {
+        let agg = config.aggregate("time");
+        t.row([
+            config.protocol.name().to_string(),
+            config.n.to_string(),
+            trials.to_string(),
+            config.failures.to_string(),
+            fnum(agg.map_or(f64::NAN, |a| a.mean)),
+            fnum(agg.map_or(f64::NAN, |a| a.ci95)),
+            fnum(agg.map_or(f64::NAN, |a| a.median)),
+        ]);
+    }
+    t.print();
 }
 
 /// Write the artifact as requested by `--out` / `--csv` (`--out -` prints
@@ -456,14 +543,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         RUN_VALUE_FLAGS,
         &["--compiled", "--cache", "--no-cache"],
     )?;
-    let mut spec = match flags.get("--spec") {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            ExperimentSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?
-        }
-        None => ExperimentSpec::default(),
-    };
-    apply_spec_flags(&mut spec, &flags)?;
+    let spec = spec_from_flags(&flags)?;
 
     if let Some(address) = flags.get("--replay") {
         let (config, trial) = address
@@ -480,12 +560,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
     // --cache opts into the content-addressed trial cache; --no-cache
     // wins when both are given (so a cached alias can be overridden).
     let artifact = if flags.has("--cache") && !flags.has("--no-cache") {
-        let cache = Cache::at(
-            flags
-                .get("--cache-dir")
-                .map(std::path::PathBuf::from)
-                .unwrap_or_else(Cache::default_dir),
-        );
+        let cache = cache_at(&flags);
         let (artifact, stats) = run_experiment_cached(&spec, Some(&cache))?;
         eprintln!(
             "cache: {} hit{}, {} miss{} ({})",
@@ -500,22 +575,154 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         run_experiment(&spec)?
     };
     if flags.get("--out") != Some("-") {
-        let mut t = Table::new([
-            "protocol", "n", "trials", "failures", "mean t", "ci95", "median",
-        ]);
-        for config in &artifact.configs {
-            let agg = config.aggregate("time");
-            t.row([
-                config.protocol.name().to_string(),
-                config.n.to_string(),
-                spec.trials.to_string(),
-                config.failures.to_string(),
-                fnum(agg.map_or(f64::NAN, |a| a.mean)),
-                fnum(agg.map_or(f64::NAN, |a| a.ci95)),
-                fnum(agg.map_or(f64::NAN, |a| a.median)),
-            ]);
+        print_run_table(&artifact, spec.trials);
+    }
+    emit_artifact(&artifact, &flags)?;
+    Ok(0)
+}
+
+/// Value-taking flags `ppctl work` accepts: every spec override plus the
+/// shard address and I/O flags. A const for the same reason as
+/// [`RUN_VALUE_FLAGS`].
+const WORK_VALUE_FLAGS: &[&str] = &[
+    "--spec",
+    "--protocol",
+    "--engine",
+    "--n",
+    "--trials",
+    "--seed",
+    "--threads",
+    "--budget",
+    "--at",
+    "--stop",
+    "--sample-at",
+    "--observables",
+    "--batch-shift",
+    "--batch-mode",
+    "--round-every",
+    "--init",
+    "--gamma",
+    "--phi",
+    "--psi",
+    "--shard",
+    "--out",
+    "--cache-dir",
+];
+
+/// Parse a `--shard I/K` address.
+fn parse_shard_address(s: &str) -> Result<(usize, usize), String> {
+    s.split_once('/')
+        .and_then(|(i, k)| Some((i.parse().ok()?, k.parse().ok()?)))
+        .ok_or_else(|| format!("--shard takes I/K, e.g. 0/4 (got '{s}')"))
+}
+
+fn cmd_work(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(
+        args,
+        WORK_VALUE_FLAGS,
+        &["--compiled", "--cache", "--no-cache", "--resume"],
+    )?;
+    let spec = spec_from_flags(&flags)?;
+    let (shard, of) = parse_shard_address(
+        flags
+            .get("--shard")
+            .ok_or("work needs --shard I/K (which slice of the trial plan to run)")?,
+    )?;
+    let out = flags
+        .get("--out")
+        .ok_or("work needs --out FILE (where to write the shard output)")?;
+
+    // `--resume` reuses every valid record of an earlier (interrupted)
+    // run of this same shard; a missing file just means a fresh start.
+    let prior = if flags.has("--resume") && out != "-" {
+        match std::fs::read_to_string(out) {
+            Ok(text) => Some(ShardOutput::parse(&text).map_err(|e| format!("{out}: {e}"))?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("reading {out}: {e}")),
         }
-        t.print();
+    } else {
+        None
+    };
+
+    let cache = (flags.has("--cache") && !flags.has("--no-cache")).then(|| cache_at(&flags));
+    let (output, stats) = run_shard(&spec, shard, of, cache.as_ref(), prior.as_ref())?;
+    let fresh = stats.planned - stats.resumed - stats.cache.hits;
+    eprintln!(
+        "shard {shard}/{of}: {} trial{} ({} resumed, {} cached, {fresh} fresh)",
+        stats.planned,
+        if stats.planned == 1 { "" } else { "s" },
+        stats.resumed,
+        stats.cache.hits,
+    );
+    let text = output.to_json_string();
+    if out == "-" {
+        print!("{text}");
+    } else {
+        std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote shard output to {out}");
+    }
+    Ok(0)
+}
+
+/// Value-taking flags `ppctl merge` accepts: the spec inputs (merge must
+/// expand the same plan the workers did) plus artifact output flags.
+const MERGE_VALUE_FLAGS: &[&str] = &[
+    "--spec",
+    "--protocol",
+    "--engine",
+    "--n",
+    "--trials",
+    "--seed",
+    "--threads",
+    "--budget",
+    "--at",
+    "--stop",
+    "--sample-at",
+    "--observables",
+    "--batch-shift",
+    "--batch-mode",
+    "--round-every",
+    "--init",
+    "--gamma",
+    "--phi",
+    "--psi",
+    "--out",
+    "--csv",
+    "--cache-dir",
+];
+
+fn cmd_merge(args: &[String]) -> Result<i32, String> {
+    let (flags, files) =
+        Flags::parse_with_positionals(args, MERGE_VALUE_FLAGS, &["--compiled", "--from-cache"])?;
+    let spec = spec_from_flags(&flags)?;
+
+    // Any verification failure surfaces as Err → exit 2 via report():
+    // foreign spec, duplicate shard, bad record, incomplete coverage
+    // (which prints the precise fill-in list for --resume).
+    let artifact = if flags.has("--from-cache") {
+        if !files.is_empty() {
+            return Err("merge --from-cache reads the cache only; drop the shard files".into());
+        }
+        let cache = cache_at(&flags);
+        merge_from_cache(&spec, &cache).map_err(|e| e.to_string())?
+    } else {
+        if files.is_empty() {
+            return Err("merge needs shard files (or --from-cache)".into());
+        }
+        let shards = files
+            .iter()
+            .map(|path| {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let output = ShardOutput::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                Ok((path.clone(), output))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        merge_shards(&spec, &shards).map_err(|e| e.to_string())?
+    };
+
+    if flags.get("--out") != Some("-") {
+        print_run_table(&artifact, spec.trials);
     }
     emit_artifact(&artifact, &flags)?;
     Ok(0)
@@ -630,6 +837,55 @@ mod tests {
                 "{flag} is a spec override but `ppctl run` rejects it"
             );
         }
+    }
+
+    // work and merge must accept every spec override too: a worker or a
+    // merge built from a narrower flag set would expand a *different*
+    // trial plan than the run it is supposed to reproduce.
+    #[test]
+    fn work_accepts_every_spec_flag() {
+        for (flag, _) in SPEC_FLAGS {
+            assert!(
+                WORK_VALUE_FLAGS.contains(flag),
+                "{flag} is a spec override but `ppctl work` rejects it"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_accepts_every_spec_flag() {
+        for (flag, _) in SPEC_FLAGS {
+            assert!(
+                MERGE_VALUE_FLAGS.contains(flag),
+                "{flag} is a spec override but `ppctl merge` rejects it"
+            );
+        }
+    }
+
+    #[test]
+    fn positionals_collect_in_order_only_when_allowed() {
+        let (f, pos) = Flags::parse_with_positionals(
+            &args(&["a.json", "--seed", "7", "b.json", "--compiled", "c.json"]),
+            &["--seed"],
+            &["--compiled"],
+        )
+        .unwrap();
+        assert_eq!(pos, vec!["a.json", "b.json", "c.json"]);
+        assert_eq!(f.get("--seed"), Some("7"));
+        assert!(f.has("--compiled"));
+        // Unknown --flags are still rejected, with the usual hint.
+        let err =
+            Flags::parse_with_positionals(&args(&["--sed", "7"]), &["--seed"], &[]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn shard_addresses_parse_strictly() {
+        assert_eq!(parse_shard_address("0/4").unwrap(), (0, 4));
+        assert_eq!(parse_shard_address("11/12").unwrap(), (11, 12));
+        assert!(parse_shard_address("3").is_err());
+        assert!(parse_shard_address("a/b").is_err());
+        assert!(parse_shard_address("1/").is_err());
     }
 
     #[test]

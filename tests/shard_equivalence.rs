@@ -1,0 +1,330 @@
+//! Gates for process-level sharded execution (`ppexp::shard`).
+//!
+//! Pins the subsystem's contracts:
+//!
+//! 1. **Partition laws** (proptest) — for random spec grids and shard
+//!    counts, the (i, k) slices are disjoint, covering and balanced to
+//!    ±1, and the assignment is stable under permutation of the plan
+//!    (it depends on each trial's intrinsic `(config hash, trial seed)`
+//!    key, never on enumeration order).
+//! 2. **Byte identity** — merging k shard outputs reproduces the
+//!    single-process artifact byte-for-byte for every committed golden
+//!    spec, including mixes of cache-warm, cache-cold and uncached
+//!    workers at different thread counts, and `merge --from-cache`.
+//! 3. **Verification** — foreign specs, duplicate shards, smuggled or
+//!    duplicated records, corrupted files and incomplete coverage are
+//!    refused (exit 2 through the CLI), with the missing-coverage error
+//!    naming the exact `--shard i/k` re-runs that would fill it in.
+//! 4. **Resume** — `ppctl work --resume` reuses every valid record of an
+//!    interrupted shard file and recomputes only the remainder.
+
+use population_protocols::ppexp::{
+    merge_from_cache, merge_shards, run_experiment, run_shard, shard_slice, trial_plan, Cache,
+    ExperimentSpec, MergeError, PlannedTrial, ProtocolKind, ShardOutput,
+};
+use proptest::prelude::*;
+use std::process::Command;
+
+const TINY_SPEC: &str = include_str!("golden/tiny.spec");
+const TINY_GOLDEN: &str = include_str!("golden/tiny.json");
+const CENSUS_SPEC: &str = include_str!("golden/census.spec");
+const CENSUS_GOLDEN: &str = include_str!("golden/census.json");
+const ROUNDS_SPEC: &str = include_str!("golden/rounds.spec");
+const ROUNDS_GOLDEN: &str = include_str!("golden/rounds.json");
+
+fn spec_with_threads(text: &str, threads: usize) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::parse(text).expect("golden spec parses");
+    spec.threads = threads;
+    spec
+}
+
+// ---------------------------------------------------------------------------
+// Partition laws
+// ---------------------------------------------------------------------------
+
+/// Random spec *grids* (plan shape only — these specs are never run):
+/// 1–3 protocols, 1–3 populations, 1–8 trials, any master seed.
+fn arb_grid_spec() -> impl Strategy<Value = ExperimentSpec> {
+    (1usize..=3, 1usize..=3, 1usize..=8, any::<u64>()).prop_map(|(protocols, ns, trials, seed)| {
+        ExperimentSpec {
+            protocols: ProtocolKind::ALL[..protocols].to_vec(),
+            ns: (0..ns).map(|i| 64 << i).collect(),
+            trials,
+            seed,
+            ..ExperimentSpec::default()
+        }
+    })
+}
+
+proptest! {
+    /// Slices over i are disjoint, cover the plan exactly, and differ in
+    /// size by at most one.
+    #[test]
+    fn slices_partition_the_plan(spec in arb_grid_spec(), k in 1usize..=9) {
+        let plan = trial_plan(&spec);
+        let mut covered = vec![0usize; plan.len()];
+        let mut sizes = Vec::new();
+        for shard in 0..k {
+            let slice = shard_slice(&spec, shard, k).unwrap();
+            sizes.push(slice.len());
+            for t in &slice {
+                prop_assert_eq!(&plan[t.config * spec.trials + t.trial], t);
+                covered[t.config * spec.trials + t.trial] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "not a partition: {covered:?}");
+        let lo = sizes.iter().min().unwrap();
+        let hi = sizes.iter().max().unwrap();
+        prop_assert!(hi - lo <= 1, "unbalanced slice sizes {sizes:?}");
+    }
+
+    /// The shard a trial lands in is a function of the planned-trial set,
+    /// not of enumeration order: permuting the plan permutes the
+    /// assignment vector identically.
+    #[test]
+    fn assignment_is_stable_under_plan_permutation(
+        spec in arb_grid_spec(),
+        k in 1usize..=9,
+        keys in proptest::collection::vec(any::<u64>(), 72),
+    ) {
+        use population_protocols::ppexp::shard::shard_assignments;
+        let plan = trial_plan(&spec);
+        let canonical = shard_assignments(&plan, k);
+        // A random permutation: order plan indices by random keys.
+        let mut order: Vec<usize> = (0..plan.len()).collect();
+        order.sort_by_key(|&i| (keys[i % keys.len()], i));
+        let permuted: Vec<PlannedTrial> = order.iter().map(|&i| plan[i]).collect();
+        let shuffled = shard_assignments(&permuted, k);
+        for (pos, &i) in order.iter().enumerate() {
+            prop_assert_eq!(
+                shuffled[pos], canonical[i],
+                "trial (config {}, trial {}) moved shards under permutation",
+                plan[i].config, plan[i].trial
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity
+// ---------------------------------------------------------------------------
+
+/// Fresh cache directory namespaced per process and tag.
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppexp-shard-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every committed golden spec, split into 3 shards and merged, is
+/// byte-identical to the committed golden artifact — the acceptance
+/// gate of the scale-out layer.
+#[test]
+fn merged_shards_reproduce_every_golden_byte_for_byte() {
+    for (spec_text, golden, name) in [
+        (TINY_SPEC, TINY_GOLDEN, "tiny"),
+        (CENSUS_SPEC, CENSUS_GOLDEN, "census"),
+        (ROUNDS_SPEC, ROUNDS_GOLDEN, "rounds"),
+    ] {
+        let spec = spec_with_threads(spec_text, 0);
+        let shards: Vec<(String, ShardOutput)> = (0..3)
+            .map(|i| {
+                let (out, _) = run_shard(&spec, i, 3, None, None).unwrap();
+                (format!("{name}-{i}"), out)
+            })
+            .collect();
+        let merged = merge_shards(&spec, &shards).unwrap();
+        assert_eq!(merged.to_json_string(), golden, "{name} drifted");
+    }
+}
+
+/// A realistic heterogeneous fleet: one worker warm against a shared
+/// cache, one cold into it, one uncached, all at different thread
+/// counts — the merge must still equal the single-process bytes, and a
+/// cache-only merge must then succeed from what the workers deposited.
+#[test]
+fn cache_warm_shard_mix_merges_byte_identically() {
+    let dir = tmp_dir("warm-mix");
+    let cache = Cache::at(dir.join("cache"));
+    let reference = run_experiment(&spec_with_threads(TINY_SPEC, 1))
+        .unwrap()
+        .to_json_string();
+
+    // Pre-warm shard 0's slice only.
+    let warm_spec = spec_with_threads(TINY_SPEC, 2);
+    run_shard(&warm_spec, 0, 3, Some(&cache), None).unwrap();
+
+    let shards: Vec<(String, ShardOutput)> = [
+        // warm: every trial served from the cache
+        (0, Some(&cache), 1),
+        // cold: computes fresh and deposits into the shared cache
+        (1, Some(&cache), 4),
+        // uncached worker
+        (2, None, 2),
+    ]
+    .into_iter()
+    .map(|(i, cache, threads)| {
+        let spec = spec_with_threads(TINY_SPEC, threads);
+        let (out, stats) = run_shard(&spec, i, 3, cache, None).unwrap();
+        if i == 0 {
+            assert_eq!(stats.cache.hits, stats.planned, "shard 0 should be warm");
+        }
+        (format!("shard{i}"), out)
+    })
+    .collect();
+    let merged = merge_shards(&spec_with_threads(TINY_SPEC, 0), &shards).unwrap();
+    assert_eq!(merged.to_json_string(), reference);
+
+    // Shards 0 and 1 went through the cache, shard 2 did not — a
+    // cache-only merge reports exactly shard 2's slice missing...
+    let spec = spec_with_threads(TINY_SPEC, 0);
+    let err = merge_from_cache(&spec, &cache).unwrap_err();
+    let MergeError::Missing { of, missing } = &err else {
+        panic!("expected Missing, got {err}");
+    };
+    assert_eq!(*of, 1, "cache fill-ins are addressed under k = 1");
+    assert_eq!(missing.len(), shard_slice(&spec, 2, 3).unwrap().len());
+
+    // ...and after the gap is filled, from-cache equals the reference.
+    run_shard(&spec, 2, 3, Some(&cache), None).unwrap();
+    let from_cache = merge_from_cache(&spec, &cache).unwrap();
+    assert_eq!(from_cache.to_json_string(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// The CLI: ppctl work / ppctl merge
+// ---------------------------------------------------------------------------
+
+fn ppctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ppctl"))
+        .args(args)
+        .output()
+        .expect("ppctl spawns")
+}
+
+fn path_str(p: &std::path::Path) -> &str {
+    p.to_str().unwrap()
+}
+
+/// End-to-end through the binary: 3 `work` processes + `merge` equal the
+/// committed tiny golden byte-for-byte; verification failures exit 2
+/// with precise diagnostics; `--resume` reuses a complete prior file.
+#[test]
+fn ppctl_work_and_merge_round_trip_the_tiny_golden() {
+    let dir = tmp_dir("cli");
+    let spec = "tests/golden/tiny.spec";
+    let shard_files: Vec<std::path::PathBuf> =
+        (0..3).map(|i| dir.join(format!("shard{i}.json"))).collect();
+    for (i, file) in shard_files.iter().enumerate() {
+        let out = ppctl(&[
+            "work",
+            "--spec",
+            spec,
+            "--shard",
+            &format!("{i}/3"),
+            "--out",
+            path_str(file),
+        ]);
+        assert!(out.status.success(), "work {i}/3: {out:?}");
+    }
+
+    let merged = dir.join("merged.json");
+    let out = ppctl(&[
+        "merge",
+        "--spec",
+        spec,
+        path_str(&shard_files[0]),
+        path_str(&shard_files[1]),
+        path_str(&shard_files[2]),
+        "--out",
+        path_str(&merged),
+    ]);
+    assert!(out.status.success(), "merge: {out:?}");
+    assert_eq!(std::fs::read_to_string(&merged).unwrap(), TINY_GOLDEN);
+
+    // Missing shard: exit 2 and the fill-in list names the absent slice.
+    let out = ppctl(&[
+        "merge",
+        "--spec",
+        spec,
+        path_str(&shard_files[0]),
+        path_str(&shard_files[2]),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--shard 1/3"), "{stderr}");
+
+    // Duplicate shard: exit 2.
+    let out = ppctl(&[
+        "merge",
+        "--spec",
+        spec,
+        path_str(&shard_files[0]),
+        path_str(&shard_files[0]),
+        path_str(&shard_files[1]),
+        path_str(&shard_files[2]),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("more than once"));
+
+    // Foreign spec (same grid, different seed): exit 2.
+    let foreign = dir.join("foreign.json");
+    let out = ppctl(&[
+        "work",
+        "--spec",
+        spec,
+        "--seed",
+        "9999",
+        "--shard",
+        "0/3",
+        "--out",
+        path_str(&foreign),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = ppctl(&[
+        "merge",
+        "--spec",
+        spec,
+        path_str(&foreign),
+        path_str(&shard_files[1]),
+        path_str(&shard_files[2]),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("foreign spec"));
+
+    // Corrupted shard file (schema intact, records mangled): exit 2.
+    let corrupted = dir.join("corrupted.json");
+    let text = std::fs::read_to_string(&shard_files[1]).unwrap();
+    std::fs::write(&corrupted, text.replacen("\"records\"", "\"recorsd\"", 1)).unwrap();
+    let out = ppctl(&[
+        "merge",
+        "--spec",
+        spec,
+        path_str(&shard_files[0]),
+        path_str(&corrupted),
+        path_str(&shard_files[2]),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Resume against a complete prior file: everything is reused, and
+    // the rewritten file is byte-identical.
+    let before = std::fs::read_to_string(&shard_files[0]).unwrap();
+    let out = ppctl(&[
+        "work",
+        "--spec",
+        spec,
+        "--shard",
+        "0/3",
+        "--out",
+        path_str(&shard_files[0]),
+        "--resume",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("4 resumed"), "{stderr}");
+    assert!(stderr.contains("0 fresh"), "{stderr}");
+    assert_eq!(std::fs::read_to_string(&shard_files[0]).unwrap(), before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
