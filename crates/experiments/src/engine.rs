@@ -1,20 +1,27 @@
-//! Plan expansion and sharded execution.
+//! Plan expansion and pooled execution.
 //!
-//! A spec expands into a deterministic grid of configs (protocol × n) and,
-//! per config, a plan of trial jobs with pre-derived seeds. Jobs shard
-//! over `ppsim::run_trials_threads`; per-trial results are independent of
-//! scheduling, stream through the online aggregators in trial order, and
-//! land in a versioned [`Artifact`] — so the same spec and seed give a
-//! byte-identical artifact at any thread count, and any single trial can
-//! be replayed bit-identically from its `(seed, config, trial)` address.
+//! A spec expands into a deterministic grid of configs (protocol × n)
+//! and a flat plan of trial jobs with pre-derived seeds. *All* configs'
+//! cache-missing jobs flow through **one global worker pool**
+//! ([`run_trials_threads`]) in a deterministic longest-expected-cost-
+//! first permutation (the [`crate::cost`] model), so no thread idles at
+//! a per-config barrier while a straggler finishes. Results land in
+//! canonical plan slots and stream through the online aggregators in
+//! trial order, so scheduling never leaks into the bytes: the same spec
+//! and seed give a byte-identical artifact at any thread count, and any
+//! single trial replays bit-identically from its `(seed, config,
+//! trial)` address.
+
+use std::cmp::Reverse;
 
 use ppsim::parallel::{default_threads, run_trials_threads};
-use ppsim::rng::{split_seed, trial_seeds};
+use ppsim::rng::split_seed;
 
 use crate::artifact::{Artifact, ConfigResult, TrialRecord};
 use crate::cache::{Cache, CacheStats, ConfigCache};
 use crate::observe::RunShape;
 use crate::registry::{ProtocolKind, Runnable};
+use crate::shard::{trial_plan, PlannedTrial};
 use crate::spec::ExperimentSpec;
 
 /// The expanded config grid of a spec: `protocols × ns`, protocol-major
@@ -52,65 +59,125 @@ pub(crate) fn run_shape(spec: &ExperimentSpec) -> RunShape<'_> {
     }
 }
 
-/// Run the `wanted` trials — `(trial index, derived seed)` pairs — of one
-/// `(protocol, n)` config, optionally through a verified cache slice:
-/// warm trials load (their stored index rewritten to the wanted address),
-/// misses run fresh over `threads` workers and are stored back. Records
-/// come back in `wanted` order; `stats` accumulates hits and misses.
+/// Sort indices into `jobs` by `(cost desc, config, trial)` — the
+/// deterministic longest-expected-cost-first execution order of the
+/// pool. Ties on the modelled cost (every trial of a config, for one)
+/// break on the intrinsic plan address, so the permutation is a pure
+/// function of the job set.
+fn pool_order(jobs: &[PlannedTrial]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (Reverse(jobs[i].cost), jobs[i].config, jobs[i].trial));
+    order
+}
+
+/// The execution permutation of a spec's whole trial plan: plan indices
+/// (config-major, `config * trials + trial`) in the order the global
+/// pool would start them, longest predicted cost first. A pure function
+/// of the spec — no environment, thread count, or cache state enters —
+/// which is what keeps pooled execution reproducible; the determinism
+/// suite pins this.
+pub fn trial_pool_order(spec: &ExperimentSpec) -> Vec<usize> {
+    pool_order(&trial_plan(spec))
+}
+
+/// Run a set of planned trials through one global worker pool,
+/// optionally against per-config cache slices (`caches` is indexed by
+/// grid config index and must span the grid). Records come back aligned
+/// with `jobs`; `stats` accumulates hits and misses.
+///
+/// Three phases, all deterministic in their results:
+///
+/// 1. **Warm loads** run over the worker pool (cache reads are pure and
+///    [`ConfigCache`] is `Sync`), so warm runs of large artifacts scale
+///    with threads. A loaded record's stored index reflects the storing
+///    spec's grid; this plan's address is authoritative and overwrites
+///    it.
+/// 2. **Misses** execute in longest-expected-cost-first order
+///    ([`pool_order`]) over the same pool — one flat queue across every
+///    config, no per-config barrier — sharing one [`Runnable`] per
+///    config. Each result lands in its canonical `jobs` slot, so the
+///    schedule never reaches the bytes.
+/// 3. **Stores** write fresh records back sequentially; failures are
+///    deduplicated to one warning per config with a count.
 ///
 /// This is the execution kernel shared by [`run_experiment_cached`]
 /// (every trial of every config) and [`crate::shard::run_shard`] (one
 /// shard's slice), so both paths produce bit-identical records by
 /// construction.
-pub(crate) fn run_config_trials(
-    (protocol, n): (ProtocolKind, u64),
+pub(crate) fn run_pool(
     spec: &ExperimentSpec,
     shape: &RunShape,
-    wanted: &[(usize, u64)],
-    config_cache: Option<&ConfigCache>,
+    jobs: &[PlannedTrial],
+    caches: &[Option<ConfigCache>],
     threads: usize,
     stats: &mut CacheStats,
 ) -> Result<Vec<TrialRecord>, String> {
-    let mut records: Vec<Option<TrialRecord>> = vec![None; wanted.len()];
-    // Indices into `wanted` that missed the cache.
-    let mut missing: Vec<usize> = Vec::new();
-    if let Some(config_cache) = config_cache {
-        for (slot, &(trial, seed)) in wanted.iter().enumerate() {
-            match config_cache.load(seed) {
-                Some(mut record) => {
-                    // The stored index reflects the storing spec's grid;
-                    // this plan's address is authoritative.
-                    record.trial = trial;
-                    records[slot] = Some(record);
-                    stats.hits += 1;
-                }
-                None => missing.push(slot),
-            }
-        }
-    } else {
-        missing.extend(0..wanted.len());
+    if jobs.is_empty() {
+        return Ok(Vec::new());
     }
+    let mut records: Vec<Option<TrialRecord>> = if caches.iter().any(Option::is_some) {
+        run_trials_threads(jobs.len(), 0, threads, |i, _| {
+            let job = &jobs[i];
+            caches[job.config].as_ref().and_then(|cache| {
+                cache.load(job.seed).map(|mut record| {
+                    record.trial = job.trial;
+                    record
+                })
+            })
+        })
+    } else {
+        vec![None; jobs.len()]
+    };
+    stats.hits += records.iter().filter(|r| r.is_some()).count();
+
+    // Indices into `jobs` that missed the cache, in pool order.
+    let missing: Vec<usize> = pool_order(jobs)
+        .into_iter()
+        .filter(|&i| records[i].is_none())
+        .collect();
     stats.misses += missing.len();
 
     if !missing.is_empty() {
-        let runnable = Runnable::build(protocol, n, spec)?;
+        // One Runnable per config with misses (compiling tables is the
+        // expensive part); the pool workers share them read-only.
+        let mut runnables: Vec<Option<Runnable>> = (0..caches.len()).map(|_| None).collect();
+        for &i in &missing {
+            let job = &jobs[i];
+            if runnables[job.config].is_none() {
+                runnables[job.config] = Some(Runnable::build(job.protocol, job.n, spec)?);
+            }
+        }
         let fresh = run_trials_threads(missing.len(), 0, threads, |i, _| {
-            let (trial, seed) = wanted[missing[i]];
+            let job = &jobs[missing[i]];
+            let runnable = runnables[job.config]
+                .as_ref()
+                .expect("runnable built for every config with misses");
             TrialRecord {
-                trial,
-                seed,
-                outcome: runnable.run(n, seed, shape, &spec.init),
+                trial: job.trial,
+                seed: job.seed,
+                outcome: runnable.run(job.n, job.seed, shape, &spec.init),
             }
         });
         // `run_trials_threads` returns results in job order: slot i of
-        // `fresh` is job i, i.e. `wanted[missing[i]]`.
+        // `fresh` is pool job i, i.e. `jobs[missing[i]]`. Store-failure
+        // warnings collapse to one line per config (an unwritable cache
+        // dir would otherwise warn once per trial).
+        let mut store_failures: Vec<(usize, usize, String)> = Vec::new();
         for (&slot, record) in missing.iter().zip(fresh) {
-            if let Some(config_cache) = config_cache {
-                if let Err(e) = config_cache.store(&record) {
-                    eprintln!("warning: {e}");
+            let job = &jobs[slot];
+            if let Some(cache) = caches[job.config].as_ref() {
+                if let Err(e) = cache.store(&record) {
+                    match store_failures.iter_mut().find(|(c, _, _)| *c == job.config) {
+                        Some((_, count, _)) => *count += 1,
+                        None => store_failures.push((job.config, 1, e)),
+                    }
                 }
             }
             records[slot] = Some(record);
+        }
+        store_failures.sort_unstable_by_key(|&(config, _, _)| config);
+        for (config, count, first) in store_failures {
+            eprintln!("warning: config {config}: {count} trial cache store(s) failed: {first}");
         }
     }
 
@@ -146,23 +213,25 @@ pub fn run_experiment_cached(
     let threads = effective_threads(spec);
     let shape = run_shape(spec);
     let mut stats = CacheStats::default();
-    let mut configs = Vec::new();
-    for (index, (protocol, n)) in config_grid(spec).into_iter().enumerate() {
+    let grid = config_grid(spec);
+    // The whole grid's trials as one flat pool — no per-config barrier;
+    // the pool starts the longest predicted trials first so stragglers
+    // overlap the short tail instead of serialising after it.
+    let plan = trial_plan(spec);
+    // Verify each config's cache identity once, not once per trial.
+    let caches: Vec<Option<ConfigCache>> = grid
+        .iter()
+        .map(|&(protocol, n)| {
+            cache.map(|cache| cache.config(&Cache::config_identity(spec, protocol, n)))
+        })
+        .collect();
+    let mut records = run_pool(spec, &shape, &plan, &caches, threads, &mut stats)?.into_iter();
+    // The plan is config-major, so each config's trials are one
+    // contiguous run, already in trial order.
+    let mut configs = Vec::with_capacity(grid.len());
+    for (index, (protocol, n)) in grid.into_iter().enumerate() {
         let config_seed = split_seed(spec.seed, index as u64);
-        let seeds = trial_seeds(config_seed, spec.trials);
-        let wanted: Vec<(usize, u64)> = seeds.into_iter().enumerate().collect();
-        // Verify the config's cache identity once, not once per trial.
-        let config_cache =
-            cache.map(|cache| cache.config(&Cache::config_identity(spec, protocol, n)));
-        let trials = run_config_trials(
-            (protocol, n),
-            spec,
-            &shape,
-            &wanted,
-            config_cache.as_ref(),
-            threads,
-            &mut stats,
-        )?;
+        let trials: Vec<TrialRecord> = records.by_ref().take(spec.trials).collect();
         configs.push(ConfigResult::collect(
             protocol,
             n,

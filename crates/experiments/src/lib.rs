@@ -36,6 +36,7 @@
 pub mod aggregate;
 pub mod artifact;
 pub mod cache;
+pub mod cost;
 pub mod engine;
 pub mod json;
 pub mod observe;
@@ -47,8 +48,10 @@ pub mod spec;
 pub use aggregate::{survival_curve, OnlineStats, P2Quantile};
 pub use artifact::{Artifact, ConfigResult, MetricAggregate, TrialRecord, SCHEMA};
 pub use cache::{Cache, CacheStats, ConfigCache};
+pub use cost::{expected_interactions, expected_stabilization_pt, trial_cost_units};
 pub use engine::{
     config_grid, effective_threads, replay_trial, run_experiment, run_experiment_cached,
+    trial_pool_order,
 };
 pub use json::Json;
 pub use observe::{ObservableKind, Observables, Schedule};

@@ -11,18 +11,26 @@
 //!
 //! # The partition
 //!
-//! Every planned trial is keyed by `(config hash, trial seed)` — the
-//! *same* pair that addresses it in the content-addressed trial cache
-//! ([`crate::cache`]). The key is mixed into a 64-bit [`shard_key`]
-//! (FNV-1a over both words), the whole plan is ranked by key, and entry
-//! of rank `r` lands in shard `r % k`. Consequences:
+//! Per-trial cost spans ~1000× across a heterogeneous n-grid, so
+//! balancing by trial *count* balances nothing. Every planned trial
+//! instead carries a predicted cost from the deterministic model in
+//! [`crate::cost`], and the partition is a **weighted LPT** (longest
+//! processing time) assignment: entries are ordered by `(cost desc,
+//! [`shard_key`], config, trial)` — the key is FNV-1a over the
+//! `(config hash, trial seed)` pair that also addresses the trial in
+//! the content-addressed cache ([`crate::cache`]) — and greedily placed
+//! on the least-loaded shard, lowest index on ties. Consequences:
 //!
 //! * **pure**: the slice for `(i, k)` depends only on the spec — any
-//!   worker on any machine computes the same slice from the spec file;
-//! * **disjoint and covering**: ranks partition `0..plan_len` exactly;
-//! * **balanced**: slice sizes differ by at most one, so the makespan of
-//!   `k` equal machines is `⌈plan/k⌉` trials — this is what makes the
-//!   wall-clock scale with machines, not cores;
+//!   worker on any machine computes the same slice from the spec file
+//!   (the cost model uses no `libm`, so costs and therefore assignments
+//!   are bit-identical across platforms);
+//! * **disjoint and covering**: every plan entry lands on exactly one
+//!   shard;
+//! * **cost-balanced**: greedy LPT guarantees max shard cost ≤
+//!   total/k + max single-trial cost — the makespan of `k` equal
+//!   machines tracks predicted cost, not trial count, which is what
+//!   makes the wall-clock scale with machines on heterogeneous grids;
 //! * **permutation-stable**: the assignment of a trial depends on its
 //!   intrinsic key and the *set* of planned trials, never on enumeration
 //!   order — `tests/shard_equivalence.rs` proptests pin all four.
@@ -44,11 +52,14 @@
 //! shared content-addressed layout, so `ppctl merge --from-cache` can
 //! assemble the artifact with no shard files at all.
 
+use std::cmp::Reverse;
+
 use ppsim::rng::{split_seed, trial_seeds};
 
 use crate::artifact::{Artifact, ConfigResult, TrialRecord};
-use crate::cache::{Cache, CacheStats};
-use crate::engine::{config_grid, effective_threads, run_config_trials, run_shape};
+use crate::cache::{Cache, CacheStats, ConfigCache};
+use crate::cost::trial_cost_units;
+use crate::engine::{config_grid, effective_threads, run_pool, run_shape};
 use crate::json::{self, Json};
 use crate::registry::ProtocolKind;
 use crate::spec::ExperimentSpec;
@@ -80,6 +91,11 @@ pub struct PlannedTrial {
     /// FNV-1a hash of the config's canonical cache identity — the same
     /// value that names the config's directory in the trial cache.
     pub config_hash: u64,
+    /// Predicted cost in model microseconds
+    /// ([`crate::cost::trial_cost_units`]) — the weight the partition
+    /// and the in-process pool schedule by. Deterministic, so every
+    /// worker derives the same weighted assignment.
+    pub cost: u64,
 }
 
 /// Expand the full trial plan of a spec in canonical order: config-major
@@ -90,6 +106,7 @@ pub fn trial_plan(spec: &ExperimentSpec) -> Vec<PlannedTrial> {
     for (config, (protocol, n)) in config_grid(spec).into_iter().enumerate() {
         let config_hash = Cache::config_hash(&Cache::config_identity(spec, protocol, n));
         let config_seed = split_seed(spec.seed, config as u64);
+        let cost = trial_cost_units(spec, protocol, n);
         for (trial, seed) in trial_seeds(config_seed, spec.trials)
             .into_iter()
             .enumerate()
@@ -101,6 +118,7 @@ pub fn trial_plan(spec: &ExperimentSpec) -> Vec<PlannedTrial> {
                 trial,
                 seed,
                 config_hash,
+                cost,
             });
         }
     }
@@ -123,22 +141,40 @@ pub fn shard_key(config_hash: u64, trial_seed: u64) -> u64 {
     h
 }
 
-/// Shard assignment for every plan entry, aligned with `plan`: the plan
-/// is ranked by `(shard_key, config, trial)` and rank `r` goes to shard
-/// `r % k`. Ties on the mixed key (possible only under seed collisions)
-/// break on the intrinsic `(config, trial)` address, so the assignment
-/// is a pure function of the planned-trial *set*, independent of
-/// enumeration order.
+/// Weighted-LPT shard assignment for every plan entry, aligned with
+/// `plan`: entries are ordered by `(cost desc, shard_key, config,
+/// trial)` and greedily placed on the least-loaded shard, lowest shard
+/// index on load ties. Greedy LPT guarantees max shard cost ≤
+/// total cost / k + max single-trial cost, so shards are balanced by
+/// *predicted cost*, not trial count. Every sort key component is
+/// intrinsic to a trial ([`shard_key`] mixes its cache address; ties on
+/// it, possible only under seed collisions, break on the `(config,
+/// trial)` address) and the greedy placement is deterministic, so the
+/// assignment is a pure function of the planned-trial *set*,
+/// independent of enumeration order and bit-identical across machines.
 pub fn shard_assignments(plan: &[PlannedTrial], k: usize) -> Vec<usize> {
     assert!(k >= 1, "shard count must be at least 1");
     let mut order: Vec<usize> = (0..plan.len()).collect();
     order.sort_by_key(|&i| {
         let t = &plan[i];
-        (shard_key(t.config_hash, t.seed), t.config, t.trial)
+        (
+            Reverse(t.cost),
+            shard_key(t.config_hash, t.seed),
+            t.config,
+            t.trial,
+        )
     });
+    // u128 loads: a plan maxes out at 4096-shard × 2^60-unit trials,
+    // far from overflow. O(plan · k) is fine at the 4096-shard cap —
+    // the shard_plan bench pins planning overhead.
+    let mut loads = vec![0u128; k];
     let mut assignment = vec![0usize; plan.len()];
-    for (rank, &i) in order.iter().enumerate() {
-        assignment[i] = rank % k;
+    for &i in &order {
+        let shard = (0..k)
+            .min_by_key(|&s| loads[s])
+            .expect("k >= 1 shards to place on");
+        loads[shard] += u128::from(plan[i].cost);
+        assignment[i] = shard;
     }
     assignment
 }
@@ -353,48 +389,37 @@ pub fn run_shard(
 
     let threads = effective_threads(spec);
     let shape = run_shape(spec);
-    let mut records: Vec<(usize, TrialRecord)> = Vec::with_capacity(slice.len());
-    // Group the slice by config (the slice is in canonical plan order, so
-    // each config is one contiguous run) and drive each group through the
-    // shared execution kernel.
-    let mut start = 0;
-    while start < slice.len() {
-        let config = slice[start].config;
-        let end = start
-            + slice[start..]
-                .iter()
-                .take_while(|t| t.config == config)
-                .count();
-        let group = &slice[start..end];
-        let fresh_wanted: Vec<(usize, u64)> = group
-            .iter()
-            .zip(&resumed[start..end])
-            .filter(|(_, r)| r.is_none())
-            .map(|(t, _)| (t.trial, t.seed))
-            .collect();
-        let config_cache = cache.map(|cache| {
-            cache.config(&Cache::config_identity(spec, group[0].protocol, group[0].n))
-        });
-        let mut fresh = run_config_trials(
-            (group[0].protocol, group[0].n),
-            spec,
-            &shape,
-            &fresh_wanted,
-            config_cache.as_ref(),
-            threads,
-            &mut stats.cache,
-        )?
-        .into_iter();
-        for (t, prior_record) in group.iter().zip(resumed[start..end].iter_mut()) {
-            let record = match prior_record.take() {
-                Some(record) => record,
-                None => fresh
-                    .next()
-                    .expect("one fresh record per non-resumed trial"),
-            };
-            records.push((t.config, record));
+    // Everything not resumed flows through the shared pool kernel as
+    // one flat job set — cost-ordered across the whole slice, no
+    // per-config barrier — so a shard produces bit-identical records by
+    // the same code path as the single-process engine.
+    let jobs: Vec<PlannedTrial> = slice
+        .iter()
+        .zip(&resumed)
+        .filter(|(_, r)| r.is_none())
+        .map(|(t, _)| *t)
+        .collect();
+    // Per-config cache slices, indexed by grid config index as the
+    // kernel expects; identities verify once per config present.
+    let mut caches: Vec<Option<ConfigCache>> = (0..config_grid(spec).len()).map(|_| None).collect();
+    if let Some(cache) = cache {
+        for job in &jobs {
+            if caches[job.config].is_none() {
+                caches[job.config] =
+                    Some(cache.config(&Cache::config_identity(spec, job.protocol, job.n)));
+            }
         }
-        start = end;
+    }
+    let mut fresh = run_pool(spec, &shape, &jobs, &caches, threads, &mut stats.cache)?.into_iter();
+    let mut records: Vec<(usize, TrialRecord)> = Vec::with_capacity(slice.len());
+    for (t, prior_record) in slice.iter().zip(resumed) {
+        let record = match prior_record {
+            Some(record) => record,
+            None => fresh
+                .next()
+                .expect("one fresh record per non-resumed trial"),
+        };
+        records.push((t.config, record));
     }
 
     Ok((ShardOutput { manifest, records }, stats))
@@ -727,22 +752,29 @@ mod tests {
     }
 
     #[test]
-    fn slices_are_disjoint_covering_and_balanced() {
+    fn slices_are_disjoint_covering_and_cost_balanced() {
         let spec = tiny_spec();
         let plan = trial_plan(&spec);
+        let total: u128 = plan.iter().map(|t| u128::from(t.cost)).sum();
+        let max_cost = plan.iter().map(|t| u128::from(t.cost)).max().unwrap();
         for k in [1, 2, 3, 5, 12, 17] {
             let mut covered = vec![0usize; plan.len()];
-            let mut sizes = Vec::new();
+            let mut loads = Vec::new();
             for shard in 0..k {
                 let slice = shard_slice(&spec, shard, k).unwrap();
-                sizes.push(slice.len());
+                loads.push(slice.iter().map(|t| u128::from(t.cost)).sum::<u128>());
                 for t in slice {
                     covered[t.config * spec.trials + t.trial] += 1;
                 }
             }
             assert!(covered.iter().all(|&c| c == 1), "k = {k}: not a partition");
-            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-            assert!(hi - lo <= 1, "k = {k}: unbalanced sizes {sizes:?}");
+            // The greedy-LPT guarantee: no shard exceeds the ideal
+            // (total/k) by more than one trial's cost.
+            let max_load = *loads.iter().max().unwrap();
+            assert!(
+                max_load <= total / k as u128 + max_cost,
+                "k = {k}: loads {loads:?} break the LPT bound"
+            );
         }
     }
 

@@ -27,7 +27,8 @@
 use population_protocols::core::{Census, Gsu19};
 use population_protocols::ppexp::{
     merge_from_cache, merge_shards, replay_trial, run_experiment, run_experiment_cached, run_shard,
-    Artifact, Cache, ConfigResult, ExperimentSpec, ShardOutput,
+    shard::shard_assignments, trial_plan, Artifact, Cache, ConfigResult, ExperimentSpec,
+    ShardOutput,
 };
 use population_protocols::ppsim::table::{fnum, Table};
 use population_protocols::ppsim::{AgentSim, BatchPolicy, Simulator, UrnSim};
@@ -41,6 +42,7 @@ fn main() {
         Some("run") => report(cmd_run(&args[1..])),
         Some("work") => report(cmd_work(&args[1..])),
         Some("merge") => report(cmd_merge(&args[1..])),
+        Some("plan") => report(cmd_plan(&args[1..])),
         Some("validate") => report(cmd_validate(&args[1..])),
         Some("census") => report(cmd_census(&args[1..])),
         Some("help") | None => {
@@ -49,7 +51,8 @@ fn main() {
         }
         Some(other) => {
             let commands = [
-                "params", "elect", "sweep", "run", "work", "merge", "validate", "census", "help",
+                "params", "elect", "sweep", "run", "work", "merge", "plan", "validate", "census",
+                "help",
             ];
             match suggest(other, &commands) {
                 Some(hint) => eprintln!("unknown command: {other} (did you mean '{hint}'?)"),
@@ -93,6 +96,9 @@ fn print_help() {
          \x20 merge  --spec FILE --from-cache [--cache-dir D] [--out F|-] [--csv F]\n\
          \x20                                      verify + merge shards into the\n\
          \x20                                      byte-identical ppexp/v1 artifact\n\
+         \x20 plan   [--spec FILE] [overrides...] [--shards K]\n\
+         \x20                                      predicted per-trial, per-config and\n\
+         \x20                                      per-shard costs + k-worker makespan\n\
          \x20 validate FILE                        schema-check an artifact\n\
          \x20 census --n N [--at T] [--seed S] [--engine E] [--compiled]\n\
          \x20                                      census snapshot at parallel time T\n\n\
@@ -728,6 +734,134 @@ fn cmd_merge(args: &[String]) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Value-taking flags `ppctl plan` accepts: the spec inputs (plan must
+/// expand the same trial plan `run`/`work`/`merge` do) plus the worker
+/// count to predict a makespan for. A const for the same reason as
+/// [`RUN_VALUE_FLAGS`].
+const PLAN_VALUE_FLAGS: &[&str] = &[
+    "--spec",
+    "--protocol",
+    "--engine",
+    "--n",
+    "--trials",
+    "--seed",
+    "--threads",
+    "--budget",
+    "--at",
+    "--stop",
+    "--sample-at",
+    "--observables",
+    "--batch-shift",
+    "--batch-mode",
+    "--round-every",
+    "--init",
+    "--gamma",
+    "--phi",
+    "--psi",
+    "--shards",
+];
+
+/// Render integer cost units (model microseconds) as approximate
+/// seconds for the human-facing column.
+fn cost_secs(units: u128) -> String {
+    fnum(units as f64 / 1e6)
+}
+
+fn cmd_plan(args: &[String]) -> Result<i32, String> {
+    let flags = Flags::parse(args, PLAN_VALUE_FLAGS, &["--compiled"])?;
+    let spec = spec_from_flags(&flags)?;
+    spec.validate()?;
+    let k: usize = flags.parse_value("--shards", 1usize)?;
+    if k == 0 || k > 4096 {
+        return Err(format!("--shards {k} out of range (1..=4096)"));
+    }
+    let plan = trial_plan(&spec);
+    let assignment = shard_assignments(&plan, k);
+    let total: u128 = plan.iter().map(|t| u128::from(t.cost)).sum();
+
+    // Per-config predicted costs (the plan is config-major, so each
+    // config is one contiguous run with a shared per-trial cost).
+    let mut t = Table::new([
+        "config",
+        "protocol",
+        "n",
+        "trials",
+        "cost/trial",
+        "cost",
+        "~sec",
+    ]);
+    let mut start = 0;
+    while start < plan.len() {
+        let config = plan[start].config;
+        let end = start
+            + plan[start..]
+                .iter()
+                .take_while(|t| t.config == config)
+                .count();
+        let trials = end - start;
+        let cost = u128::from(plan[start].cost) * trials as u128;
+        t.row([
+            config.to_string(),
+            plan[start].protocol.name().to_string(),
+            plan[start].n.to_string(),
+            trials.to_string(),
+            plan[start].cost.to_string(),
+            cost.to_string(),
+            cost_secs(cost),
+        ]);
+        start = end;
+    }
+    t.print();
+    println!(
+        "total: {} trials, {total} cost units (~{} s single worker)",
+        plan.len(),
+        cost_secs(total)
+    );
+
+    // Per-trial detail with the weighted-LPT shard each trial lands on.
+    println!();
+    let mut t = Table::new(["config", "trial", "seed", "cost", "shard"]);
+    for (trial, shard) in plan.iter().zip(&assignment) {
+        t.row([
+            trial.config.to_string(),
+            trial.trial.to_string(),
+            format!("{:016x}", trial.seed),
+            trial.cost.to_string(),
+            shard.to_string(),
+        ]);
+    }
+    t.print();
+
+    // Per-shard predicted loads and the k-worker makespan.
+    println!();
+    let mut loads = vec![0u128; k];
+    let mut counts = vec![0usize; k];
+    for (trial, &shard) in plan.iter().zip(&assignment) {
+        loads[shard] += u128::from(trial.cost);
+        counts[shard] += 1;
+    }
+    let mut t = Table::new(["shard", "trials", "cost", "~sec"]);
+    for (shard, (&load, &count)) in loads.iter().zip(&counts).enumerate() {
+        t.row([
+            format!("{shard}/{k}"),
+            count.to_string(),
+            load.to_string(),
+            cost_secs(load),
+        ]);
+    }
+    t.print();
+    let makespan = loads.iter().max().copied().unwrap_or(0);
+    println!(
+        "predicted makespan over {k} worker{}: {makespan} cost units (~{} s); \
+         ideal total/k = {} (~{} s)",
+        if k == 1 { "" } else { "s" },
+        cost_secs(makespan),
+        total / k as u128,
+        cost_secs(total / k as u128)
+    );
+    Ok(0)
+}
+
 fn cmd_validate(args: &[String]) -> Result<i32, String> {
     let [path] = args else {
         return Err("usage: ppctl validate ARTIFACT.json".into());
@@ -858,6 +992,18 @@ mod tests {
             assert!(
                 MERGE_VALUE_FLAGS.contains(flag),
                 "{flag} is a spec override but `ppctl merge` rejects it"
+            );
+        }
+    }
+
+    // plan predicts costs for the same expanded plan run/work/merge
+    // execute, so it must accept the same spec overrides.
+    #[test]
+    fn plan_accepts_every_spec_flag() {
+        for (flag, _) in SPEC_FLAGS {
+            assert!(
+                PLAN_VALUE_FLAGS.contains(flag),
+                "{flag} is a spec override but `ppctl plan` rejects it"
             );
         }
     }

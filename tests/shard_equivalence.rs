@@ -3,10 +3,13 @@
 //! Pins the subsystem's contracts:
 //!
 //! 1. **Partition laws** (proptest) — for random spec grids and shard
-//!    counts, the (i, k) slices are disjoint, covering and balanced to
-//!    ±1, and the assignment is stable under permutation of the plan
-//!    (it depends on each trial's intrinsic `(config hash, trial seed)`
-//!    key, never on enumeration order).
+//!    counts, the (i, k) slices are disjoint, covering and balanced by
+//!    predicted cost to the greedy-LPT bound (max shard cost is at
+//!    most total/k plus one trial), the assignment is stable under
+//!    permutation of the plan (it depends on each trial's intrinsic
+//!    `(cost, config hash, trial seed)` key, never on enumeration
+//!    order), and the in-process pool's longest-first execution
+//!    permutation is a pure function of the spec.
 //! 2. **Byte identity** — merging k shard outputs reproduces the
 //!    single-process artifact byte-for-byte for every committed golden
 //!    spec, including mixes of cache-warm, cache-cold and uncached
@@ -19,8 +22,8 @@
 //!    interrupted shard file and recomputes only the remainder.
 
 use population_protocols::ppexp::{
-    merge_from_cache, merge_shards, run_experiment, run_shard, shard_slice, trial_plan, Cache,
-    ExperimentSpec, MergeError, PlannedTrial, ProtocolKind, ShardOutput,
+    merge_from_cache, merge_shards, run_experiment, run_shard, shard_slice, trial_plan,
+    trial_pool_order, Cache, ExperimentSpec, MergeError, PlannedTrial, ProtocolKind, ShardOutput,
 };
 use proptest::prelude::*;
 use std::process::Command;
@@ -57,25 +60,53 @@ fn arb_grid_spec() -> impl Strategy<Value = ExperimentSpec> {
 }
 
 proptest! {
-    /// Slices over i are disjoint, cover the plan exactly, and differ in
-    /// size by at most one.
+    /// Slices over i are disjoint, cover the plan exactly, and are
+    /// balanced by predicted cost to the greedy-LPT guarantee: no shard
+    /// exceeds the ideal (total/k) by more than one trial's cost.
     #[test]
     fn slices_partition_the_plan(spec in arb_grid_spec(), k in 1usize..=9) {
         let plan = trial_plan(&spec);
         let mut covered = vec![0usize; plan.len()];
-        let mut sizes = Vec::new();
+        let mut loads = Vec::new();
         for shard in 0..k {
             let slice = shard_slice(&spec, shard, k).unwrap();
-            sizes.push(slice.len());
+            loads.push(slice.iter().map(|t| u128::from(t.cost)).sum::<u128>());
             for t in &slice {
                 prop_assert_eq!(&plan[t.config * spec.trials + t.trial], t);
                 covered[t.config * spec.trials + t.trial] += 1;
             }
         }
         prop_assert!(covered.iter().all(|&c| c == 1), "not a partition: {covered:?}");
-        let lo = sizes.iter().min().unwrap();
-        let hi = sizes.iter().max().unwrap();
-        prop_assert!(hi - lo <= 1, "unbalanced slice sizes {sizes:?}");
+        let total: u128 = plan.iter().map(|t| u128::from(t.cost)).sum();
+        let max_cost = plan.iter().map(|t| u128::from(t.cost)).max().unwrap_or(0);
+        let max_load = loads.iter().max().copied().unwrap_or(0);
+        prop_assert!(
+            max_load <= total / k as u128 + max_cost,
+            "shard loads {loads:?} break the LPT bound (total {total}, k {k})"
+        );
+    }
+
+    /// The in-process pool's longest-expected-cost-first permutation is
+    /// a pure function of the spec: recomputation agrees exactly, it
+    /// permutes the plan, and it is ordered by (cost desc, config,
+    /// trial) — no environment, thread count or cache state enters.
+    #[test]
+    fn pool_permutation_is_a_pure_function_of_the_spec(spec in arb_grid_spec()) {
+        let plan = trial_plan(&spec);
+        let order = trial_pool_order(&spec);
+        prop_assert_eq!(&order, &trial_pool_order(&spec));
+        let mut seen = vec![false; plan.len()];
+        for &i in &order {
+            prop_assert!(!seen[i], "plan index {i} scheduled twice");
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "pool order is not a permutation");
+        for w in order.windows(2) {
+            let (a, b) = (&plan[w[0]], &plan[w[1]]);
+            let ka = (std::cmp::Reverse(a.cost), a.config, a.trial);
+            let kb = (std::cmp::Reverse(b.cost), b.config, b.trial);
+            prop_assert!(ka <= kb, "pool order is not longest-cost-first");
+        }
     }
 
     /// The shard a trial lands in is a function of the planned-trial set,
@@ -323,7 +354,10 @@ fn ppctl_work_and_merge_round_trip_the_tiny_golden() {
     ]);
     assert!(out.status.success(), "{out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("4 resumed"), "{stderr}");
+    let slice_len = shard_slice(&spec_with_threads(TINY_SPEC, 0), 0, 3)
+        .unwrap()
+        .len();
+    assert!(stderr.contains(&format!("{slice_len} resumed")), "{stderr}");
     assert!(stderr.contains("0 fresh"), "{stderr}");
     assert_eq!(std::fs::read_to_string(&shard_files[0]).unwrap(), before);
     let _ = std::fs::remove_dir_all(&dir);
